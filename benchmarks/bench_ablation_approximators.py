@@ -1,0 +1,34 @@
+"""Ablation A4: approximator family comparison (PSA design choice).
+
+Compares random forest (the paper's recommendation), a shallow tree,
+ridge, and a kNN regressor as pseudo-supervised approximators of kNN and
+LOF, on held-out ROC / P@N and prediction latency.
+
+Paper shape expectation: tree ensembles approximate proximity detectors
+well; linear models "may not" (Conclusion).
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench import format_table
+from repro.bench.ablations import run_approximator_ablation
+
+
+def test_approximator_ablation(benchmark, cfg):
+    rows, meta = run_once(benchmark, run_approximator_ablation, cfg)
+    print()
+    print(meta["config"], f"(dataset: {meta['dataset']})")
+    print(format_table(
+        rows,
+        columns=["detector", "approximator", "roc", "patn", "pred_ms"],
+        title="\nA4 — approximator families vs original detectors",
+    ))
+
+    def rocs(appr):
+        return [r["roc"] for r in rows if r["approximator"] == appr]
+
+    forest = np.mean(rocs("forest"))
+    orig = np.mean(rocs("(original)"))
+    # The forest approximator tracks the original detectors closely.
+    assert forest > orig - 0.08, f"forest {forest:.3f} vs orig {orig:.3f}"

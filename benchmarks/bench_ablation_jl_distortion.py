@@ -1,0 +1,33 @@
+"""Ablation A1: empirical JL distance distortion vs target dimension.
+
+The quantitative face of Eq. 1: larger k means smaller pairwise-distance
+distortion, for all four transformation-matrix families.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench import format_table
+from repro.bench.ablations import run_jl_distortion
+
+
+def test_jl_distortion(benchmark, cfg):
+    rows, meta = run_once(benchmark, run_jl_distortion, cfg)
+    print()
+    print(meta["config"])
+    print(format_table(
+        rows,
+        columns=["k_frac", "k", "family", "median_distortion", "p95_distortion", "time_ms"],
+        title="\nA1 — JL pairwise-distance distortion vs target dimension",
+    ))
+
+    # Distortion decreases monotonically (on average) with k.
+    fracs = sorted({r["k_frac"] for r in rows})
+    meds = [
+        np.mean([r["median_distortion"] for r in rows if r["k_frac"] == f])
+        for f in fracs
+    ]
+    assert meds[0] > meds[-1], "distortion should shrink as k grows"
+    # All families achieve sub-30% median distortion at k = 0.9 d.
+    tail = [r for r in rows if r["k_frac"] == fracs[-1]]
+    assert all(r["median_distortion"] < 0.3 for r in tail)

@@ -1,0 +1,34 @@
+"""Ablation A3: scheduling policy comparison.
+
+Makespans of generic / shuffle / BPS variants / oracle-LPT on three cost
+distributions under noisy forecasts, normalised by the theoretical lower
+bound.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench import format_table
+from repro.bench.ablations import run_scheduler_ablation
+
+
+def test_scheduler_ablation(benchmark, cfg):
+    rows, meta = run_once(benchmark, run_scheduler_ablation, cfg)
+    print()
+    print(meta["config"], f"(m={meta['m']}, t={meta['t']})")
+    print(format_table(
+        rows,
+        columns=["distribution", "policy", "makespan", "vs_lower_bound"],
+        title="\nA3 — scheduler makespans (lower is better; 1.0 = lower bound)",
+    ))
+
+    def mean_ratio(policy):
+        return np.mean([r["vs_lower_bound"] for r in rows if r["policy"] == policy])
+
+    # BPS (noisy forecasts) beats generic everywhere and approaches the
+    # oracle; shuffle sits in between.
+    assert mean_ratio("bps_rank") < mean_ratio("generic")
+    assert mean_ratio("bps_disc_a1") < mean_ratio("generic")
+    assert mean_ratio("oracle_lpt") <= mean_ratio("bps_rank") + 0.05
+    # Oracle-LPT respects the 4/3 guarantee.
+    assert mean_ratio("oracle_lpt") <= 4.0 / 3.0 + 1e-6

@@ -1,0 +1,57 @@
+"""Tables 2 & 3: pseudo-supervised approximation quality (§4.2).
+
+One experiment produces both tables (same runs, two metrics): prediction
+ROC (Table 2) and P@N (Table 3) of six costly detectors vs their random
+forest approximators on ten datasets.
+
+Paper shape expectation: proximity-based families (kNN, aKNN, LOF) keep
+or improve their accuracy under approximation; ABOD may degrade.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench import format_table
+from repro.bench.runners import run_psa_comparison
+
+_CACHE = {}
+
+
+def _rows(benchmark, cfg):
+    if "rows" not in _CACHE:
+        rows, meta = run_once(benchmark, run_psa_comparison, cfg)
+        _CACHE["rows"] = rows
+        _CACHE["meta"] = meta
+    else:
+        # Re-timing a cache hit: record a trivial call.
+        run_once(benchmark, lambda: None)
+    return _CACHE["rows"], _CACHE["meta"]
+
+
+def test_table2_psa_roc(benchmark, cfg):
+    rows, meta = _rows(benchmark, cfg)
+    print()
+    print(meta["config"])
+    print(format_table(
+        rows,
+        columns=["dataset", "model", "roc_orig", "roc_appr"],
+        title="\nTable 2 — prediction ROC: original vs approximator",
+    ))
+    prox = [r for r in rows if r["model"] in ("kNN", "aKNN", "LOF")]
+    assert prox, "no proximity rows produced"
+    delta = np.mean([r["roc_appr"] - r["roc_orig"] for r in prox])
+    # Proximity families must not lose materially from approximation.
+    assert delta > -0.05, f"proximity ROC delta {delta:.3f}"
+
+
+def test_table3_psa_patn(benchmark, cfg):
+    rows, meta = _rows(benchmark, cfg)
+    print()
+    print(format_table(
+        rows,
+        columns=["dataset", "model", "patn_orig", "patn_appr"],
+        title="\nTable 3 — prediction P@N: original vs approximator",
+    ))
+    prox = [r for r in rows if r["model"] in ("kNN", "aKNN", "LOF")]
+    delta = np.mean([r["patn_appr"] - r["patn_orig"] for r in prox])
+    assert delta > -0.1, f"proximity P@N delta {delta:.3f}"

@@ -1,0 +1,45 @@
+"""Table 5: full system (all three modules) vs baseline (§4.4).
+
+Random heterogeneous pools (the paper's shuffled worst case) on ten
+datasets with t in {5, 10, 30} virtual workers: fit/pred virtual
+makespans plus Avg/MOA ensemble ROC and P@N on held-out data.
+
+Paper shape expectations: SUOD reduces fit time on most datasets with
+minor-to-no accuracy loss.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench import format_table
+from repro.bench.runners import run_table5_full_system
+
+
+def test_table5_full_system(benchmark, cfg):
+    rows, meta = run_once(benchmark, run_table5_full_system, cfg)
+    print()
+    print(meta["config"], f"(paper uses {meta['paper_models']} models)")
+    print(format_table(
+        rows,
+        columns=[
+            "dataset", "n", "d", "t",
+            "fit_B", "fit_S", "pred_B", "pred_S",
+            "roc_avg_B", "roc_avg_S", "roc_moa_B", "roc_moa_S",
+            "patn_avg_B", "patn_avg_S",
+        ],
+        title="\nTable 5 — baseline (B) vs SUOD (S)",
+    ))
+
+    fit_redu = np.array(
+        [(r["fit_B"] - r["fit_S"]) / r["fit_B"] for r in rows if r["fit_B"] > 0]
+    )
+    pred_redu = np.array(
+        [(r["pred_B"] - r["pred_S"]) / r["pred_B"] for r in rows if r["pred_B"] > 0]
+    )
+    # Time reduction on the majority of settings.
+    assert np.median(fit_redu) > 0.0, f"median fit reduction {np.median(fit_redu):.2%}"
+    assert np.median(pred_redu) > 0.0, f"median pred reduction {np.median(pred_redu):.2%}"
+
+    # No material accuracy loss in the ensemble.
+    roc_delta = np.mean([r["roc_avg_S"] - r["roc_avg_B"] for r in rows])
+    assert roc_delta > -0.05, f"mean Avg-ROC delta {roc_delta:.3f}"

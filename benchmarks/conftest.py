@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark executes its experiment exactly once under
+``benchmark.pedantic`` (the experiments are full table regenerations, not
+microbenchmarks) and prints a paper-style table. Scaling is controlled by
+the REPRO_* environment variables documented in
+:mod:`repro.bench.config`.
+"""
+
+import pytest
+
+from repro.bench import get_config
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    config = get_config()
+    print(f"\n[repro-bench] {config.describe()}")
+    return config
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Fraudulent-claim screening: the paper's §4.5 deployment scenario.
+
+A first-round screening system for a special investigation unit (SIU):
+a heterogeneous pool scores pharmacy claims by outlyingness, the top
+fraction is escalated to human investigators, and SUOD's acceleration
+modules keep both (re)training and scoring fast.
+
+Run:  python examples/fraud_screening.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SUOD
+from repro.data import make_claims_dataset, train_test_split
+from repro.data.claims import CLAIMS_FEATURE_NAMES
+from repro.detectors import sample_model_pool
+from repro.metrics import precision_at_n, roc_auc_score
+from repro.supervised import RandomForestRegressor
+
+
+def main() -> None:
+    # Synthetic stand-in for the proprietary IQVIA table: 35 features,
+    # 15.38% fraud (scaled from 123,720 to 6,000 claims for the demo).
+    X, y = make_claims_dataset(6000, random_state=7)
+    X_train, X_test, y_train, y_test = train_test_split(X, y, random_state=0)
+    print(f"claims: {X.shape[0]}, features: {X.shape[1]}, fraud: {y.mean():.2%}")
+
+    # "The current system in use is based on a group of selected
+    # detection models" — sample a heterogeneous pool from Table B.1.
+    pool = sample_model_pool(
+        20,
+        families=["KNN", "LOF", "HBOS", "IsolationForest", "CBLOF"],
+        max_n_neighbors=60,
+        random_state=1,
+    )
+
+    results = {}
+    for label, flags in (
+        ("current system (no acceleration)",
+         dict(rp_flag_global=False, approx_flag_global=False, bps_flag=False)),
+        ("SUOD (all modules)",
+         dict(rp_flag_global=True, approx_flag_global=True, bps_flag=True)),
+    ):
+        clf = SUOD(
+            [type(m)(**m.get_params()) for m in pool],  # fresh copies
+            n_jobs=10,
+            backend="simulated",
+            approx_clf=RandomForestRegressor(n_estimators=30, max_depth=10,
+                                             random_state=0),
+            random_state=0,
+            **flags,
+        )
+        clf.fit(X_train)
+        t0 = time.perf_counter()
+        scores = clf.decision_function(X_test)
+        score_wall = time.perf_counter() - t0
+        results[label] = (clf.fit_result_.wall_time, score_wall, scores, clf)
+        print(f"\n{label}")
+        print(f"  fit (10 virtual workers): {clf.fit_result_.wall_time:.2f}s")
+        print(f"  scoring {X_test.shape[0]} new claims: {score_wall:.2f}s")
+        print(f"  ROC-AUC: {roc_auc_score(y_test, scores):.3f}  "
+              f"P@N: {precision_at_n(y_test, scores):.3f}")
+
+    # SIU escalation report: the top 1% riskiest claims.
+    _, _, scores, clf = results["SUOD (all modules)"]
+    n_escalate = max(1, len(scores) // 100)
+    top = np.argsort(-scores)[:n_escalate]
+    hit_rate = y_test[top].mean()
+    print(f"\nescalating top {n_escalate} claims to SIU; "
+          f"{hit_rate:.0%} are labelled fraud in this synthetic ground truth")
+
+    # Interpretability bonus of PSA (Remark 1): a forest approximator
+    # exposes feature importances for investigator triage. Train it on
+    # the *original* feature space (SUOD's internal approximators live in
+    # each model's projected space, whose axes are not named claims
+    # features).
+    detector = clf.base_estimators_[0]
+    explainer = RandomForestRegressor(n_estimators=40, random_state=0)
+    from repro.detectors import KNN
+
+    raw_det = KNN(n_neighbors=20).fit(X_train)
+    explainer.fit(X_train, raw_det.decision_scores_)
+    importances = explainer.feature_importances_
+    top_features = np.argsort(-importances)[:5]
+    print("\ntop suspicious-score drivers (kNN approximator on raw features):")
+    for i in top_features:
+        print(f"  {CLAIMS_FEATURE_NAMES[i]:20s} importance={importances[i]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

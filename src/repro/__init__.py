@@ -1,0 +1,12 @@
+"""repro — from-scratch reproduction of SUOD (MLSys 2021).
+
+Top-level package. The headline entry point is :class:`repro.SUOD`; the
+subpackages provide the full substrate (detectors, projections,
+supervised approximators, scheduling, parallel backends, metrics, data).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import SUOD  # noqa: F401  (public headline API)
+
+__all__ = ["SUOD", "__version__"]

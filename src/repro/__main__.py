@@ -1,0 +1,108 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1 [--scale 0.12] [--trials 2]
+    python -m repro table4 --scale 0.2
+    python -m repro fig3
+    python -m repro all --scale 0.05
+
+Experiments honour the same REPRO_* environment variables as the
+benchmark suite; CLI flags override them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from repro.bench import format_table, get_config
+from repro.bench.ablations import (
+    run_approximator_ablation,
+    run_cost_predictor_validation,
+    run_jl_distortion,
+    run_scheduler_ablation,
+)
+from repro.bench.runners import (
+    run_claims_case,
+    run_fig3_decision_surface,
+    run_psa_comparison,
+    run_table1_projection,
+    run_table4_bps,
+    run_table5_full_system,
+)
+
+EXPERIMENTS = {
+    "table1": (run_table1_projection, "Table 1 — data compression methods"),
+    "table2": (run_psa_comparison, "Tables 2 & 3 — PSA prediction quality"),
+    "table4": (run_table4_bps, "Table 4 — Generic vs BPS scheduling"),
+    "table5": (run_table5_full_system, "Table 5 — full system vs baseline"),
+    "fig3": (run_fig3_decision_surface, "Figure 3 — decision surfaces"),
+    "claims": (run_claims_case, "§4.5 — claims fraud case"),
+    "jl": (run_jl_distortion, "A1 — JL distortion ablation"),
+    "cost": (run_cost_predictor_validation, "A2 — cost predictor validation"),
+    "schedulers": (run_scheduler_ablation, "A3 — scheduler ablation"),
+    "approximators": (run_approximator_ablation, "A4 — approximator ablation"),
+}
+
+
+def _print_experiment(name: str, cfg) -> None:
+    runner, title = EXPERIMENTS[name]
+    print(f"\n=== {title} ===")
+    t0 = time.perf_counter()
+    rows, meta = runner(cfg)
+    elapsed = time.perf_counter() - t0
+    print(meta.get("config", ""))
+    print(format_table(rows))
+    if "surfaces" in meta:
+        for label, surface in meta["surfaces"].items():
+            print(f"\n{label}:")
+            print(surface)
+    print(f"[{name} done in {elapsed:.1f}s]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the SUOD paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="experiment id ('list' to enumerate, 'all' to run everything)",
+    )
+    parser.add_argument("--scale", type=float, help="dataset scale in (0, 1]")
+    parser.add_argument("--max-n", type=int, help="sample cap per dataset")
+    parser.add_argument("--trials", type=int, help="trials to average")
+    parser.add_argument("--models", type=int, help="pool size for table5")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, title) in sorted(EXPERIMENTS.items()):
+            print(f"{name:14s} {title}")
+        return 0
+
+    cfg = get_config()
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.max_n is not None:
+        overrides["max_n"] = args.max_n
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.models is not None:
+        overrides["n_models"] = args.models
+    if overrides:
+        cfg = dataclasses.replace(cfg, **overrides)
+
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in targets:
+        _print_experiment(name, cfg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Ablation runners for the design choices DESIGN.md calls out.
+
+- A1: JL distortion vs target dimension (the empirical face of Eq. 1);
+- A2: cost-predictor validation (the paper's Spearman rho > 0.9 claim);
+- A3: scheduler policy comparison (generic / shuffle / LPT / KK /
+  discounted-alpha / oracle);
+- A4: approximator family comparison (forest / ridge / knn-regressor /
+  shallow tree) on proximity detectors.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.config import BenchConfig
+from repro.core.cost import CostPredictor, train_cost_predictor
+from repro.core.scheduling import (
+    bps_schedule,
+    generic_schedule,
+    lpt_partition,
+    shuffle_schedule,
+)
+from repro.data import load_benchmark, train_test_split
+from repro.detectors import KNN, LOF
+from repro.metrics import makespan, precision_at_n, roc_auc_score, spearmanr
+from repro.projection import JLProjector, JL_FAMILIES
+from repro.supervised import (
+    DecisionTreeRegressor,
+    KNeighborsRegressor,
+    RandomForestRegressor,
+    Ridge,
+)
+from repro.utils.distances import pairwise_distances
+
+__all__ = [
+    "run_jl_distortion",
+    "run_cost_predictor_validation",
+    "run_scheduler_ablation",
+    "run_approximator_ablation",
+]
+
+
+def run_jl_distortion(cfg: BenchConfig, *, d: int = 96, n: int = 300):
+    """A1: median/p95 pairwise-distance distortion and projection time
+    per JL family across target dimensions k."""
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((n, d))
+    D0 = pairwise_distances(X, metric="sqeuclidean")
+    iu = np.triu_indices(n, k=1)
+    rows = []
+    for frac in (0.25, 0.5, 2.0 / 3.0, 0.9):
+        k = max(1, int(frac * d))
+        for family in JL_FAMILIES:
+            dist_meds, dist_p95s, times = [], [], []
+            for trial in range(cfg.trials):
+                t0 = time.perf_counter()
+                Z = JLProjector(k, family=family, random_state=trial).fit_transform(X)
+                times.append(time.perf_counter() - t0)
+                D1 = pairwise_distances(Z, metric="sqeuclidean")
+                ratio = np.abs(D1[iu] / D0[iu] - 1.0)
+                dist_meds.append(np.median(ratio))
+                dist_p95s.append(np.quantile(ratio, 0.95))
+            rows.append(
+                {
+                    "k_frac": round(frac, 3),
+                    "k": k,
+                    "family": family,
+                    "median_distortion": float(np.mean(dist_meds)),
+                    "p95_distortion": float(np.mean(dist_p95s)),
+                    "time_ms": 1000.0 * float(np.mean(times)),
+                }
+            )
+    return rows, {"config": cfg.describe(), "n": n, "d": d}
+
+
+def run_cost_predictor_validation(cfg: BenchConfig):
+    """A2: hold-out rank correlation of the trained cost predictor.
+
+    The paper reports Spearman rho > 0.9 (10-fold CV over 47 datasets);
+    we train on local timings and validate on a held-out third.
+    """
+    _, report = train_cost_predictor(
+        families=["KNN", "LOF", "HBOS", "IsolationForest", "CBLOF"],
+        n_grid=(150, 400, 800),
+        d_grid=(5, 20),
+        models_per_family=3,
+        # The paper targets the *sum of 10 trials*; summing several
+        # trials is what makes millisecond-scale fits predictable at all.
+        n_trials=max(3, cfg.trials),
+        random_state=0,
+    )
+    feats, secs = report["features"], report["seconds"]
+    rng = np.random.default_rng(1)
+    idx = rng.permutation(len(secs))
+    cut = len(secs) // 3
+    test_idx, train_idx = idx[:cut], idx[cut:]
+    pred_model = CostPredictor(n_estimators=100, random_state=0).fit(
+        feats[train_idx], secs[train_idx]
+    )
+    pred = np.expm1(pred_model._rf.predict(feats[test_idx]))
+    rho = spearmanr(pred, secs[test_idx])
+    rows = [
+        {
+            "n_timings": len(secs),
+            "n_holdout": cut,
+            "spearman_rho": float(rho),
+            "paper_claim": "rho > 0.9",
+        }
+    ]
+    return rows, {"config": cfg.describe()}
+
+
+def run_scheduler_ablation(cfg: BenchConfig, *, m: int = 120, t: int = 8):
+    """A3: makespan of each scheduling policy on heavy-tailed cost
+    distributions, with forecasts perturbed by rank noise (BPS sees
+    forecasts; the makespan is evaluated on true costs)."""
+    rng = np.random.default_rng(2)
+    rows = []
+    for dist_name, sampler in (
+        ("exponential", lambda: rng.exponential(1.0, m)),
+        ("lognormal", lambda: rng.lognormal(0.0, 1.5, m)),
+        ("bimodal", lambda: np.concatenate([rng.uniform(0.1, 0.2, m // 2),
+                                            rng.uniform(5.0, 10.0, m - m // 2)])),
+    ):
+        true_costs = np.sort(sampler())[::-1]  # family-ordered pathology
+        noisy_forecast = true_costs * rng.lognormal(0.0, 0.3, m)
+        policies = {
+            "generic": generic_schedule(m, t),
+            "shuffle": shuffle_schedule(m, t, random_state=0),
+            "bps_rank": bps_schedule(noisy_forecast, t, alpha=None),
+            "bps_disc_a1": bps_schedule(noisy_forecast, t, alpha=1.0),
+            "bps_kk": bps_schedule(noisy_forecast, t, method="kk"),
+            "oracle_lpt": lpt_partition(true_costs, t),
+        }
+        lower_bound = max(true_costs.sum() / t, true_costs.max())
+        for name, assignment in policies.items():
+            span = makespan(true_costs, assignment, t)
+            rows.append(
+                {
+                    "distribution": dist_name,
+                    "policy": name,
+                    "makespan": float(span),
+                    "vs_lower_bound": float(span / lower_bound),
+                }
+            )
+    return rows, {"config": cfg.describe(), "m": m, "t": t}
+
+
+def run_approximator_ablation(cfg: BenchConfig, *, dataset: str = "Cardio"):
+    """A4: which supervised family approximates proximity detectors best
+    (test ROC / P@N / prediction time vs the original detector)."""
+    from repro.bench.runners import _effective_scale
+
+    X, y = load_benchmark(dataset, scale=_effective_scale(dataset, cfg), random_state=0)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=0)
+    k = max(2, min(10, Xtr.shape[0] - 1))
+    detectors = {"kNN": KNN(n_neighbors=k), "LOF": LOF(n_neighbors=2 * k)}
+    approximators = {
+        "forest": RandomForestRegressor(n_estimators=30, random_state=0),
+        "shallow_tree": DecisionTreeRegressor(max_depth=4, random_state=0),
+        "ridge": Ridge(alpha=1.0),
+        "knn_reg": KNeighborsRegressor(n_neighbors=min(5, Xtr.shape[0] - 1)),
+    }
+    rows = []
+    for det_name, det in detectors.items():
+        det.fit(Xtr)
+        t0 = time.perf_counter()
+        s_orig = det.decision_function(Xte)
+        t_orig = time.perf_counter() - t0
+        rows.append(
+            {
+                "detector": det_name,
+                "approximator": "(original)",
+                "roc": roc_auc_score(yte, s_orig),
+                "patn": precision_at_n(yte, s_orig),
+                "pred_ms": 1000.0 * t_orig,
+            }
+        )
+        for appr_name, proto in approximators.items():
+            import copy
+
+            reg = copy.deepcopy(proto)
+            reg.fit(Xtr, det.decision_scores_)
+            t0 = time.perf_counter()
+            s = reg.predict(Xte)
+            t_pred = time.perf_counter() - t0
+            rows.append(
+                {
+                    "detector": det_name,
+                    "approximator": appr_name,
+                    "roc": roc_auc_score(yte, s),
+                    "patn": precision_at_n(yte, s),
+                    "pred_ms": 1000.0 * t_pred,
+                }
+            )
+    return rows, {"config": cfg.describe(), "dataset": dataset}

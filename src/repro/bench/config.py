@@ -1,0 +1,70 @@
+"""Benchmark scaling knobs, resolved from the environment.
+
+- ``REPRO_SCALE``   — fraction of each dataset's original sample count
+  (default 0.12; 1.0 = paper-sized).
+- ``REPRO_MAX_N``   — hard cap on samples per dataset (default 800;
+  keeps HTTP's 567k and Shuttle's 49k tractable at any scale).
+- ``REPRO_TRIALS``  — independent trials to average (default 2; the
+  paper uses 10).
+- ``REPRO_MODELS``  — heterogeneous pool size for the full-system table
+  (default 30; the paper uses 600).
+
+Every runner stamps the active configuration into its output so measured
+numbers are never confused with paper numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["BenchConfig", "get_config"]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    scale: float = 0.12
+    max_n: int = 800
+    trials: int = 2
+    n_models: int = 30
+
+    def describe(self) -> str:
+        return (
+            f"scale={self.scale} max_n={self.max_n} trials={self.trials} "
+            f"n_models={self.n_models} (paper: scale=1.0, trials=10, models=600)"
+        )
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from exc
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an int, got {raw!r}") from exc
+
+
+def get_config() -> BenchConfig:
+    """Resolve the active benchmark configuration from the environment."""
+    cfg = BenchConfig(
+        scale=_env_float("REPRO_SCALE", BenchConfig.scale),
+        max_n=_env_int("REPRO_MAX_N", BenchConfig.max_n),
+        trials=_env_int("REPRO_TRIALS", BenchConfig.trials),
+        n_models=_env_int("REPRO_MODELS", BenchConfig.n_models),
+    )
+    if not 0.0 < cfg.scale <= 1.0:
+        raise ValueError("REPRO_SCALE must be in (0, 1]")
+    if cfg.max_n < 200 or cfg.trials < 1 or cfg.n_models < 1:
+        raise ValueError("REPRO_MAX_N >= 200, REPRO_TRIALS >= 1, REPRO_MODELS >= 1")
+    return cfg

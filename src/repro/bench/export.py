@@ -1,0 +1,44 @@
+"""Export benchmark rows to CSV/JSON for downstream analysis."""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+__all__ = ["rows_to_csv", "rows_to_json"]
+
+
+def rows_to_csv(rows: Sequence[Mapping], path) -> Path:
+    """Write dict rows as CSV; the union of keys (first-seen order) is
+    the header, missing cells are blank."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def rows_to_json(rows: Sequence[Mapping], path, *, meta: Mapping | None = None) -> Path:
+    """Write rows (+ optional metadata, minus unserialisable values) as JSON."""
+    path = Path(path)
+    clean_meta = {}
+    for key, value in (meta or {}).items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            continue
+        clean_meta[key] = value
+    payload = {"meta": clean_meta, "rows": list(rows)}
+    path.write_text(json.dumps(payload, indent=2, default=float))
+    return path

@@ -1,0 +1,457 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each runner returns ``(rows, meta)`` where ``rows`` is a list of dicts
+(one per printed table row) and ``meta`` records the active scaling
+configuration. The ``benchmarks/`` files are thin wrappers that time the
+runners and print the tables.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.config import BenchConfig
+from repro.combination import ecdf_standardise, moa
+from repro.core.cost import AnalyticCostModel
+from repro.core.scheduling import bps_schedule, generic_schedule
+from repro.core.suod import SUOD
+from repro.data import load_benchmark, make_claims_dataset, make_fig3_toy, train_test_split
+from repro.data.benchmark import TABLE_A1
+from repro.detectors import (
+    ABOD,
+    KNN,
+    LOF,
+    AvgKNN,
+    CBLOF,
+    FeatureBagging,
+    sample_model_pool,
+)
+from repro.metrics import makespan, precision_at_n, roc_auc_score
+from repro.projection import PROJECTION_METHODS, jl_target_dim, make_projector
+from repro.supervised import RandomForestRegressor
+
+__all__ = [
+    "run_table1_projection",
+    "run_psa_comparison",
+    "run_table4_bps",
+    "run_table5_full_system",
+    "run_fig3_decision_surface",
+    "run_claims_case",
+]
+
+
+def _effective_scale(name: str, cfg: BenchConfig) -> float:
+    n = TABLE_A1[name][0]
+    return min(cfg.scale, cfg.max_n / n, 1.0)
+
+
+def _load(name: str, cfg: BenchConfig, seed=None):
+    return load_benchmark(name, scale=_effective_scale(name, cfg), random_state=seed)
+
+
+def _safe_k(n_train: int, k: int) -> int:
+    return max(2, min(k, n_train - 1))
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — data compression methods
+# ---------------------------------------------------------------------------
+_T1_DATASETS = ("Cardio", "MNIST", "Satellite", "Satimage-2")
+
+
+def _t1_detector(name: str, n: int):
+    if name == "ABOD":
+        return ABOD(n_neighbors=_safe_k(n, 10))
+    if name == "LOF":
+        return LOF(n_neighbors=_safe_k(n, 20))
+    if name == "KNN":
+        return KNN(n_neighbors=_safe_k(n, 10))
+    raise ValueError(name)
+
+
+def run_table1_projection(
+    cfg: BenchConfig,
+    *,
+    datasets=_T1_DATASETS,
+    detectors=("ABOD", "LOF", "KNN"),
+    methods=PROJECTION_METHODS,
+):
+    """Table 1: execution time / ROC / P@N per compression method.
+
+    Protocol (§4.1): the full (replica) dataset is used for model
+    building; k = 2d/3; metrics computed on training scores.
+    """
+    rows = []
+    for ds in datasets:
+        for det_name in detectors:
+            for method in methods:
+                times, rocs, patns = [], [], []
+                for trial in range(cfg.trials):
+                    X, y = _load(ds, cfg, seed=trial)
+                    k = jl_target_dim(X.shape[1])
+                    t0 = time.perf_counter()
+                    proj = make_projector(method, k, random_state=trial)
+                    Z = proj.fit(X).transform(X)
+                    det = _t1_detector(det_name, X.shape[0]).fit(Z)
+                    times.append(time.perf_counter() - t0)
+                    rocs.append(roc_auc_score(y, det.decision_scores_))
+                    patns.append(precision_at_n(y, det.decision_scores_))
+                rows.append(
+                    {
+                        "dataset": ds,
+                        "detector": det_name,
+                        "method": method,
+                        "time": float(np.mean(times)),
+                        "roc": float(np.mean(rocs)),
+                        "patn": float(np.mean(patns)),
+                    }
+                )
+    return rows, {"config": cfg.describe(), "k": "2d/3"}
+
+
+# ---------------------------------------------------------------------------
+# Tables 2 & 3 — pseudo-supervised approximation
+# ---------------------------------------------------------------------------
+_PSA_DATASETS = (
+    "Annthyroid",
+    "Breastw",
+    "Cardio",
+    "HTTP",
+    "MNIST",
+    "Pendigits",
+    "Pima",
+    "Satellite",
+    "Satimage-2",
+    "Thyroid",
+)
+
+
+def _psa_models(n_train: int):
+    return {
+        "ABOD": ABOD(n_neighbors=_safe_k(n_train, 10)),
+        "CBLOF": CBLOF(n_clusters=min(8, max(2, n_train // 20)), random_state=0),
+        "FB": FeatureBagging(n_estimators=5, random_state=0),
+        "kNN": KNN(n_neighbors=_safe_k(n_train, 10)),
+        "aKNN": AvgKNN(n_neighbors=_safe_k(n_train, 10)),
+        "LOF": LOF(n_neighbors=_safe_k(n_train, 20)),
+    }
+
+
+def run_psa_comparison(cfg: BenchConfig, *, datasets=_PSA_DATASETS):
+    """Tables 2 & 3: prediction ROC and P@N, original vs approximator.
+
+    Protocol (§4.2): 60/40 split; the approximator is a random forest
+    regressor trained on the detector's train-set scores; both score the
+    held-out 40%.
+    """
+    rows = []
+    for ds in datasets:
+        per_model: dict[str, dict[str, list[float]]] = {}
+        for trial in range(cfg.trials):
+            X, y = _load(ds, cfg, seed=trial)
+            Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=trial)
+            if yte.sum() == 0 or yte.sum() == yte.size:  # degenerate split
+                continue
+            for name, det in _psa_models(Xtr.shape[0]).items():
+                det.fit(Xtr)
+                s_orig = det.decision_function(Xte)
+                reg = RandomForestRegressor(
+                    n_estimators=30, random_state=trial
+                ).fit(Xtr, det.decision_scores_)
+                s_appr = reg.predict(Xte)
+                rec = per_model.setdefault(
+                    name,
+                    {"roc_o": [], "roc_a": [], "pn_o": [], "pn_a": []},
+                )
+                rec["roc_o"].append(roc_auc_score(yte, s_orig))
+                rec["roc_a"].append(roc_auc_score(yte, s_appr))
+                rec["pn_o"].append(precision_at_n(yte, s_orig))
+                rec["pn_a"].append(precision_at_n(yte, s_appr))
+        for name, rec in per_model.items():
+            rows.append(
+                {
+                    "dataset": ds,
+                    "model": name,
+                    "roc_orig": float(np.mean(rec["roc_o"])),
+                    "roc_appr": float(np.mean(rec["roc_a"])),
+                    "patn_orig": float(np.mean(rec["pn_o"])),
+                    "patn_appr": float(np.mean(rec["pn_a"])),
+                }
+            )
+    return rows, {"config": cfg.describe()}
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — balanced parallel scheduling
+# ---------------------------------------------------------------------------
+_T4_DATASETS = ("Cardio", "Letter", "PageBlock", "Pendigits")
+_T4_FAMILIES = ("KNN", "IsolationForest", "HBOS", "OCSVM")
+
+
+def _family_ordered_pool(m: int, n_train: int, seed: int):
+    """The §3.5 pathology: equal blocks of each family, ordered by family
+    (what a parameter-grid loop naturally produces)."""
+    per = max(1, m // len(_T4_FAMILIES))
+    pool = []
+    for i, fam in enumerate(_T4_FAMILIES):
+        pool.extend(
+            sample_model_pool(
+                per,
+                families=[fam],
+                max_n_neighbors=_safe_k(n_train, 100),
+                random_state=seed + i,
+            )
+        )
+    return pool
+
+
+def run_table4_bps(
+    cfg: BenchConfig,
+    *,
+    datasets=_T4_DATASETS,
+    m_list=(40, 120),
+    t_list=(2, 4, 8),
+):
+    """Table 4: training makespan, Generic vs BPS scheduling.
+
+    Each model in a family-ordered pool is fitted once on the local core
+    with its wall time recorded; the recorded costs are then replayed
+    through t virtual workers under both schedules (the virtual makespan
+    of :class:`repro.parallel.SimulatedClusterBackend`). BPS schedules on
+    *forecast* costs (analytic model) and is evaluated on *measured*
+    costs — exactly the paper's setting.
+    """
+    rows = []
+    cost_model = AnalyticCostModel()
+    for ds in datasets:
+        X, _ = _load(ds, cfg, seed=0)
+        n, d = X.shape
+        for m in m_list:
+            pool = _family_ordered_pool(m, n, seed=42)
+            measured = np.empty(len(pool))
+            for i, model in enumerate(pool):
+                t0 = time.perf_counter()
+                model.fit(X)
+                measured[i] = time.perf_counter() - t0
+            forecast = cost_model.forecast(pool, X)
+            for t in t_list:
+                gen = makespan(measured, generic_schedule(len(pool), t), t)
+                bps = makespan(measured, bps_schedule(forecast, t), t)
+                rows.append(
+                    {
+                        "dataset": ds,
+                        "n": n,
+                        "d": d,
+                        "m": len(pool),
+                        "t": t,
+                        "generic": gen,
+                        "bps": bps,
+                        "redu_pct": 100.0 * (gen - bps) / gen if gen > 0 else 0.0,
+                    }
+                )
+    return rows, {"config": cfg.describe(), "paper_m": "(100, 500, 1000)"}
+
+
+# ---------------------------------------------------------------------------
+# Table 5 — full system
+# ---------------------------------------------------------------------------
+_T5_DATASETS = (
+    "Annthyroid",
+    "Cardio",
+    "MNIST",
+    "Optdigits",
+    "Pendigits",
+    "Pima",
+    "Shuttle",
+    "SpamSpace",
+    "Thyroid",
+    "Waveform",
+)
+
+
+def _combined_metrics(clf: SUOD, Xte, yte):
+    """Avg / MOA combination ROC and P@N on held-out data."""
+    M = clf.decision_function_matrix(Xte)
+    U = ecdf_standardise(M, ref=clf.train_score_matrix_)
+    avg = U.mean(axis=0)
+    m_oa = moa(U, n_buckets=min(5, U.shape[0]), standardise=False, random_state=0)
+    out = {}
+    out["roc_avg"] = roc_auc_score(yte, avg)
+    out["roc_moa"] = roc_auc_score(yte, m_oa)
+    out["patn_avg"] = precision_at_n(yte, avg)
+    out["patn_moa"] = precision_at_n(yte, m_oa)
+    return out, clf.predict_result_.wall_time
+
+
+def run_table5_full_system(
+    cfg: BenchConfig, *, datasets=_T5_DATASETS, t_list=(5, 10, 30)
+):
+    """Table 5: baseline vs full SUOD — fit/pred virtual time + accuracy.
+
+    The pool is randomly sampled from Table B.1 (the paper's worst-case
+    shuffled ordering). Each system fits its models **once** on the local
+    core (the simulated backend records per-model costs); the measured
+    costs are then replayed through every worker count in ``t_list``
+    under the system's scheduling policy, so the reported times are
+    virtual makespans without redundant refits.
+    """
+    rows = []
+    cost_model = AnalyticCostModel()
+    approx_clf = RandomForestRegressor(n_estimators=20, max_depth=10, random_state=0)
+    for ds in datasets:
+        X, y = _load(ds, cfg, seed=0)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=0)
+        if yte.sum() == 0:
+            continue
+        per_system = {}
+        for label, flags in (
+            ("B", dict(rp_flag_global=False, approx_flag_global=False, bps_flag=False)),
+            ("S", dict(rp_flag_global=True, approx_flag_global=True, bps_flag=True)),
+        ):
+            pool = sample_model_pool(
+                cfg.n_models,
+                max_n_neighbors=_safe_k(Xtr.shape[0], 100),
+                random_state=7,
+            )
+            clf = SUOD(
+                pool,
+                n_jobs=1,  # fit once; parallel times replayed below
+                approx_clf=approx_clf,
+                random_state=0,
+                **flags,
+            )
+            clf.fit(Xtr)
+            fit_costs = clf.fit_result_.task_times
+            metrics, _ = _combined_metrics(clf, Xte, yte)
+            pred_costs = clf.predict_result_.task_times
+            forecast = cost_model.forecast(clf.base_estimators_, Xtr)
+            per_system[label] = (clf, fit_costs, pred_costs, forecast, metrics)
+
+        for t in t_list:
+            row = {"dataset": ds, "n": X.shape[0], "d": X.shape[1], "t": t}
+            for label, (clf, fit_costs, pred_costs, forecast, metrics) in per_system.items():
+                m = len(fit_costs)
+                if label == "S":  # BPS on forecast ranks
+                    assignment = bps_schedule(forecast, t)
+                else:  # generic contiguous split
+                    assignment = generic_schedule(m, t)
+                row[f"fit_{label}"] = makespan(fit_costs, assignment, t)
+                row[f"pred_{label}"] = makespan(pred_costs, assignment, t)
+                for key, value in metrics.items():
+                    row[f"{key}_{label}"] = value
+            rows.append(row)
+    return rows, {"config": cfg.describe(), "paper_models": 600}
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — decision surfaces on the 2-D toy
+# ---------------------------------------------------------------------------
+def _count_errors(scores: np.ndarray, y: np.ndarray, contamination: float) -> int:
+    thr = np.quantile(scores, 1.0 - contamination)
+    pred = (scores > thr).astype(int)
+    return int((pred != y).sum())
+
+
+def _ascii_surface(score_fn, extent: float = 6.0, width: int = 48, height: int = 20):
+    """Coarse ASCII rendering of a 2-D decision surface (score deciles)."""
+    xs = np.linspace(-extent, extent, width)
+    ys = np.linspace(-extent, extent, height)
+    grid = np.array([[x, yv] for yv in ys for x in xs])
+    s = score_fn(grid).reshape(height, width)
+    chars = " .:-=+*#%@"
+    ranks = np.digitize(s, np.quantile(s, np.linspace(0.1, 0.9, 9)))
+    return "\n".join("".join(chars[v] for v in row) for row in ranks[::-1])
+
+
+def run_fig3_decision_surface(cfg: BenchConfig):
+    """Figure 3: error counts (and ASCII surfaces) for four unsupervised
+    models vs their pseudo-supervised approximators on the 200-sample toy.
+    """
+    X, y = make_fig3_toy(random_state=0)
+    contamination = float(y.mean())
+    models = {
+        "ABOD": ABOD(n_neighbors=10, contamination=contamination),
+        "FeatureBagging": FeatureBagging(
+            n_estimators=10, random_state=0, contamination=contamination
+        ),
+        "kNN": KNN(n_neighbors=10, contamination=contamination),
+        "LOF": LOF(n_neighbors=10, contamination=contamination),
+    }
+    rows, surfaces = [], {}
+    for name, det in models.items():
+        det.fit(X)
+        reg = RandomForestRegressor(n_estimators=50, random_state=0).fit(
+            X, det.decision_scores_
+        )
+        err_orig = _count_errors(det.decision_function(X), y, contamination)
+        err_appr = _count_errors(reg.predict(X), y, contamination)
+        rows.append(
+            {"model": name, "errors_orig": err_orig, "errors_appr": err_appr}
+        )
+        surfaces[name] = _ascii_surface(det.decision_function)
+        surfaces[f"{name} approximator"] = _ascii_surface(reg.predict)
+    return rows, {"config": cfg.describe(), "surfaces": surfaces}
+
+
+# ---------------------------------------------------------------------------
+# §4.5 — claims-fraud deployment case
+# ---------------------------------------------------------------------------
+def run_claims_case(cfg: BenchConfig, *, n_workers: int = 10):
+    """The IQVIA-style deployment: full SUOD vs the current (baseline)
+    system on the synthetic claims table, 10 workers, 60/40 split.
+    """
+    n = max(1000, int(123720 * min(cfg.scale, 4000 / 123720)))
+    X, y = make_claims_dataset(n, random_state=0)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=0)
+    out = {}
+    for label, flags in (
+        ("baseline", dict(rp_flag_global=False, approx_flag_global=False, bps_flag=False)),
+        ("suod", dict(rp_flag_global=True, approx_flag_global=True, bps_flag=True)),
+    ):
+        # Two timing passes per system; keep the faster one. Per-model
+        # costs are measured live, so a single transient load spike on
+        # the host would otherwise be attributed to whichever system
+        # happened to be fitting at that moment.
+        best = None
+        for timing_pass in range(2):
+            pool = sample_model_pool(
+                max(10, cfg.n_models // 2),
+                families=["KNN", "LOF", "HBOS", "IsolationForest", "CBLOF"],
+                max_n_neighbors=_safe_k(Xtr.shape[0], 60),
+                random_state=11,
+            )
+            clf = SUOD(
+                pool,
+                n_jobs=n_workers,
+                backend="simulated",
+                approx_clf=RandomForestRegressor(
+                    n_estimators=20, max_depth=10, random_state=0
+                ),
+                random_state=0,
+                **flags,
+            ).fit(Xtr)
+            metrics, pred_time = _combined_metrics(clf, Xte, yte)
+            candidate = {
+                "fit_time": clf.fit_result_.wall_time,
+                "pred_time": pred_time,
+                "roc": metrics["roc_avg"],
+                "patn": metrics["patn_avg"],
+            }
+            if best is None or candidate["fit_time"] < best["fit_time"]:
+                best = candidate
+        out[label] = best
+    b, s = out["baseline"], out["suod"]
+    rows = [
+        {"system": "baseline", **b},
+        {"system": "suod", **s},
+        {
+            "system": "delta_pct",
+            "fit_time": 100.0 * (b["fit_time"] - s["fit_time"]) / b["fit_time"],
+            "pred_time": 100.0 * (b["pred_time"] - s["pred_time"]) / b["pred_time"],
+            "roc": 100.0 * (s["roc"] - b["roc"]) / max(b["roc"], 1e-9),
+            "patn": 100.0 * (s["patn"] - b["patn"]) / max(b["patn"], 1e-9),
+        },
+    ]
+    return rows, {"config": cfg.describe(), "n_claims": n, "paper_n": 123720}

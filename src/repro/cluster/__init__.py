@@ -1,0 +1,5 @@
+"""Clustering substrate (k-means), required by the CBLOF detector."""
+
+from repro.cluster.kmeans import KMeans
+
+__all__ = ["KMeans"]

@@ -1,0 +1,130 @@
+"""Lloyd's k-means with k-means++ initialisation.
+
+Built for :class:`repro.detectors.CBLOF`, which clusters the training set
+before scoring points by their distance to large-cluster centroids.
+Vectorised assignment via the squared-distance identity; empty clusters
+are re-seeded from the points farthest from their centroid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.distances import pairwise_distances
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_array, check_is_fitted
+
+__all__ = ["KMeans"]
+
+
+def _kmeans_plusplus(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: iteratively sample centers ∝ squared distance."""
+    n = X.shape[0]
+    centers = np.empty((k, X.shape[1]), dtype=np.float64)
+    centers[0] = X[rng.integers(n)]
+    closest_sq = pairwise_distances(X, centers[:1], metric="sqeuclidean").ravel()
+    for c in range(1, k):
+        total = closest_sq.sum()
+        if total == 0.0:  # all points coincide with chosen centers
+            centers[c:] = X[rng.integers(n, size=k - c)]
+            break
+        probs = closest_sq / total
+        centers[c] = X[rng.choice(n, p=probs)]
+        new_sq = pairwise_distances(X, centers[c : c + 1], metric="sqeuclidean").ravel()
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centers
+
+
+class KMeans:
+    """Standard k-means clustering.
+
+    Parameters
+    ----------
+    n_clusters : int, default 8
+    n_init : int, default 3
+        Restarts; the inertia-best run is kept.
+    max_iter : int, default 100
+    tol : float, default 1e-4
+        Relative center-shift tolerance for convergence.
+    random_state : seed or Generator.
+
+    Attributes
+    ----------
+    cluster_centers_ : (k, d) array
+    labels_ : (n,) int array
+    inertia_ : float, sum of squared distances to assigned centers
+    n_iter_ : int, iterations of the best run
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        n_init: int = 3,
+        max_iter: int = 100,
+        tol: float = 1e-4,
+        random_state=None,
+    ):
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def fit(self, X) -> "KMeans":
+        X = check_array(X, name="X")
+        n = X.shape[0]
+        k = self.n_clusters
+        if not 1 <= k <= n:
+            raise ValueError(f"n_clusters={k} out of [1, {n}]")
+        if self.n_init < 1 or self.max_iter < 1:
+            raise ValueError("n_init and max_iter must be >= 1")
+        rng = check_random_state(self.random_state)
+
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia, n_iter = self._single_run(X, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia, n_iter)
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _single_run(self, X: np.ndarray, rng: np.random.Generator):
+        k = self.n_clusters
+        centers = _kmeans_plusplus(X, k, rng)
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        for it in range(1, self.max_iter + 1):
+            D = pairwise_distances(X, centers, metric="sqeuclidean")
+            labels = np.argmin(D, axis=1)
+            new_centers = centers.copy()
+            counts = np.bincount(labels, minlength=k)
+            for c in range(k):
+                if counts[c] > 0:
+                    new_centers[c] = X[labels == c].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the worst-served point.
+                    worst = int(np.argmax(D[np.arange(X.shape[0]), labels]))
+                    new_centers[c] = X[worst]
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            scale = float((centers**2).sum()) or 1.0
+            if shift / scale <= self.tol**2:
+                break
+        D = pairwise_distances(X, centers, metric="sqeuclidean")
+        labels = np.argmin(D, axis=1)
+        inertia = float(D[np.arange(X.shape[0]), labels].sum())
+        return centers, labels, inertia, it
+
+    def predict(self, X) -> np.ndarray:
+        """Index of the nearest cluster center for each sample."""
+        check_is_fitted(self, "cluster_centers_")
+        X = check_array(X, name="X")
+        D = pairwise_distances(X, self.cluster_centers_, metric="sqeuclidean")
+        return np.argmin(D, axis=1)
+
+    def transform(self, X) -> np.ndarray:
+        """Euclidean distance of each sample to every cluster center."""
+        check_is_fitted(self, "cluster_centers_")
+        X = check_array(X, name="X")
+        return pairwise_distances(X, self.cluster_centers_, metric="euclidean")

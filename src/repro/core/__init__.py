@@ -1,0 +1,50 @@
+"""The paper's primary contribution: the SUOD acceleration system.
+
+- :mod:`repro.core.cost` — model cost forecasting (meta-features, model
+  embeddings, analytic complexity model, trainable random-forest cost
+  predictor — §3.5);
+- :mod:`repro.core.scheduling` — balanced parallel scheduling policies
+  (generic / shuffle / BPS rank-sum balancing, Eq. 2);
+- :mod:`repro.core.approximation` — pseudo-supervised approximation
+  (§3.4);
+- :mod:`repro.core.suod` — the :class:`SUOD` meta-estimator composing
+  RP + PSA + BPS behind a scikit-learn style API (Codeblock 1).
+"""
+
+from repro.core.cost import (
+    AnalyticCostModel,
+    CostPredictor,
+    dataset_meta_features,
+    model_embedding,
+    train_cost_predictor,
+)
+from repro.core.scheduling import (
+    generic_schedule,
+    shuffle_schedule,
+    bps_schedule,
+    lpt_partition,
+    karmarkar_karp_partition,
+    discounted_ranks,
+)
+from repro.core.approximation import Approximator, fit_approximators
+from repro.core.selection import consensus_competence, trim_pool
+from repro.core.suod import SUOD
+
+__all__ = [
+    "SUOD",
+    "AnalyticCostModel",
+    "CostPredictor",
+    "dataset_meta_features",
+    "model_embedding",
+    "train_cost_predictor",
+    "generic_schedule",
+    "shuffle_schedule",
+    "bps_schedule",
+    "lpt_partition",
+    "karmarkar_karp_partition",
+    "discounted_ranks",
+    "Approximator",
+    "fit_approximators",
+    "consensus_competence",
+    "trim_pool",
+]

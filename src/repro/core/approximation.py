@@ -1,0 +1,125 @@
+"""Pseudo-Supervised Approximation — the PSA module (§3.4).
+
+After an unsupervised detector is fitted, its training-set outlyingness
+scores become "pseudo ground truth" for a fast supervised regressor; the
+regressor then replaces the detector at prediction time. Only *costly*
+detectors are approximated (the predefined pool ``M_c`` — proximity-based
+models with O(n d) per-query cost); fast models (HBOS, iForest, ...) are
+kept as-is because an approximator could not beat their prediction cost.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.registry import is_costly
+from repro.supervised import RandomForestRegressor
+from repro.utils.validation import check_array, check_is_fitted
+
+__all__ = ["Approximator", "fit_approximators"]
+
+
+class Approximator:
+    """One detector/regressor pair.
+
+    Wraps a *fitted* unsupervised detector. When approximation is active
+    the regressor answers :meth:`decision_function`; otherwise calls fall
+    through to the detector, so the pair is a drop-in scorer either way.
+
+    Parameters
+    ----------
+    detector : fitted BaseDetector
+    regressor : unfitted regressor prototype or None
+        Cloned, then trained on ``(X_train, detector.decision_scores_)``.
+        Default: :class:`repro.supervised.RandomForestRegressor`.
+    enabled : bool
+        Whether to actually approximate (callers typically pass
+        ``is_costly(detector)``).
+    """
+
+    def __init__(self, detector: BaseDetector, regressor=None, *, enabled: bool = True):
+        check_is_fitted(detector, "decision_scores_")
+        self.detector = detector
+        self.regressor_prototype = regressor
+        self.enabled = enabled
+        self.regressor_ = None
+
+    @property
+    def approximated(self) -> bool:
+        """True when prediction is served by the supervised regressor."""
+        return self.regressor_ is not None
+
+    def fit(self, X_train) -> "Approximator":
+        """Train the supervised stand-in on pseudo ground truth.
+
+        ``X_train`` must be the same feature space the detector was
+        fitted on (the projected space when RP is active — Algorithm 1
+        line 19 trains on psi_i).
+        """
+        if not self.enabled:
+            return self
+        X_train = check_array(X_train, name="X_train")
+        if X_train.shape[0] != self.detector.decision_scores_.shape[0]:
+            raise ValueError(
+                "X_train is not aligned with the detector's training scores"
+            )
+        proto = (
+            self.regressor_prototype
+            if self.regressor_prototype is not None
+            else RandomForestRegressor()
+        )
+        self.regressor_ = copy.deepcopy(proto)
+        self.regressor_.fit(X_train, self.detector.decision_scores_)
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Outlyingness scores: regressor if trained, else the detector."""
+        if self.approximated:
+            return np.asarray(self.regressor_.predict(X), dtype=np.float64)
+        return self.detector.decision_function(X)
+
+    def __repr__(self) -> str:
+        mode = "approximated" if self.approximated else "passthrough"
+        return f"Approximator({type(self.detector).__name__}, {mode})"
+
+
+def fit_approximators(
+    detectors: Sequence[BaseDetector],
+    X_trains: Sequence[np.ndarray] | np.ndarray,
+    *,
+    regressor=None,
+    approx_flags: Sequence[bool] | None = None,
+) -> list[Approximator]:
+    """Build and train one :class:`Approximator` per fitted detector.
+
+    Parameters
+    ----------
+    detectors : fitted detectors.
+    X_trains : one array shared by all, or one per detector (each in the
+        detector's own feature space, matching Algorithm 1).
+    regressor : regressor prototype (cloned per detector).
+    approx_flags : explicit per-detector overrides; default =
+        :func:`repro.detectors.is_costly` (the paper's ``M_c`` rule).
+    """
+    detectors = list(detectors)
+    if isinstance(X_trains, np.ndarray):
+        X_list = [X_trains] * len(detectors)
+    else:
+        X_list = list(X_trains)
+        if len(X_list) != len(detectors):
+            raise ValueError("X_trains must align with detectors")
+    if approx_flags is None:
+        flags = [is_costly(det) for det in detectors]
+    else:
+        flags = list(approx_flags)
+        if len(flags) != len(detectors):
+            raise ValueError("approx_flags must align with detectors")
+
+    out = []
+    for det, X, flag in zip(detectors, X_list, flags):
+        out.append(Approximator(det, regressor, enabled=flag).fit(X))
+    return out

@@ -1,0 +1,136 @@
+"""Unsupervised model-pool trimming (future-work item #4 of the paper).
+
+"We may incorporate the emerging automated OD, e.g., MetaOD, to trim
+down the model space for further acceleration." Without MetaOD's meta-
+learning corpus, this module implements the classic unsupervised
+alternatives it builds on:
+
+- **consensus trimming** — rank models by the Spearman correlation of
+  their train scores with the pool consensus and keep the top fraction
+  (SELECT-style vertical selection; Rayana & Akoglu, 2016);
+- **diversity trimming** — greedily keep models that are accurate *and*
+  mutually decorrelated (accuracy/diversity trade-off of outlier
+  ensembles).
+
+Trimming happens *after* a cheap fit on a subsample and *before* the
+expensive full fit, so it composes with SUOD as a fourth acceleration
+stage (see ``examples``/tests).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.combination.methods import zscore_standardise
+from repro.detectors.base import BaseDetector
+from repro.metrics.correlation import spearmanr
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_array
+
+__all__ = ["consensus_competence", "trim_pool"]
+
+
+def consensus_competence(train_scores) -> np.ndarray:
+    """Spearman correlation of each model's scores with the consensus.
+
+    The consensus is the mean of the z-scored (n_models, n_train) score
+    matrix — the standard pseudo ground truth of unsupervised ensemble
+    selection.
+    """
+    S = np.asarray(train_scores, dtype=np.float64)
+    if S.ndim != 2 or S.shape[0] < 2:
+        raise ValueError("train_scores must be (n_models >= 2, n_train)")
+    Z = zscore_standardise(S)
+    consensus = Z.mean(axis=0)
+    return np.array([spearmanr(row, consensus) for row in Z])
+
+
+def trim_pool(
+    models: Sequence[BaseDetector],
+    X,
+    *,
+    keep_fraction: float = 0.5,
+    strategy: str = "consensus",
+    subsample: int = 500,
+    random_state=None,
+) -> tuple[list[BaseDetector], np.ndarray]:
+    """Select a competent subset of an unfitted heterogeneous pool.
+
+    A throwaway copy of each model is fitted on a subsample of ``X``;
+    competence is estimated unsupervised and the top models (by the
+    chosen strategy) are returned **unfitted** for the real run.
+
+    Parameters
+    ----------
+    models : unfitted detector pool.
+    X : training data (a subsample of it drives the selection).
+    keep_fraction : float in (0, 1], fraction of models kept.
+    strategy : {'consensus', 'diversity'}
+        ``consensus`` keeps the highest consensus-correlated models;
+        ``diversity`` greedily keeps consensus-competent models whose
+        scores are not redundant with already-kept ones.
+    subsample : int, subsample size for the cheap pilot fit.
+    random_state : seed or Generator.
+
+    Returns
+    -------
+    (kept_models, kept_indices)
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    if strategy not in ("consensus", "diversity"):
+        raise ValueError("strategy must be 'consensus' or 'diversity'")
+    models = list(models)
+    if len(models) < 2:
+        raise ValueError("need at least 2 models to trim")
+    X = check_array(X, name="X")
+    rng = check_random_state(random_state)
+    n_keep = max(1, int(round(keep_fraction * len(models))))
+
+    n_sub = min(subsample, X.shape[0])
+    idx = rng.choice(X.shape[0], size=n_sub, replace=False)
+    X_sub = X[idx]
+
+    scores = np.empty((len(models), n_sub))
+    for i, model in enumerate(models):
+        pilot = copy.deepcopy(model)
+        if hasattr(pilot, "random_state") and pilot.random_state is None:
+            pilot.random_state = int(rng.integers(0, 2**31))
+        # Clip neighborhood-style parameters that exceed the subsample.
+        if hasattr(pilot, "n_neighbors"):
+            pilot.n_neighbors = max(2, min(pilot.n_neighbors, n_sub - 1))
+        if hasattr(pilot, "n_clusters"):
+            pilot.n_clusters = max(1, min(pilot.n_clusters, n_sub))
+        pilot.fit(X_sub)
+        scores[i] = pilot.decision_scores_
+
+    competence = consensus_competence(scores)
+
+    if strategy == "consensus":
+        kept = np.argsort(-competence, kind="mergesort")[:n_keep]
+    else:
+        Z = zscore_standardise(scores)
+        order = np.argsort(-competence, kind="mergesort")
+        kept_list: list[int] = [int(order[0])]
+        for cand in order[1:]:
+            if len(kept_list) == n_keep:
+                break
+            redundancy = max(
+                abs(spearmanr(Z[cand], Z[j])) for j in kept_list
+            )
+            # Accept unless nearly duplicated by an already-kept model.
+            if redundancy < 0.95:
+                kept_list.append(int(cand))
+        # Backfill if the redundancy filter was too aggressive.
+        for cand in order:
+            if len(kept_list) == n_keep:
+                break
+            if int(cand) not in kept_list:
+                kept_list.append(int(cand))
+        kept = np.array(kept_list)
+
+    kept = np.sort(kept)
+    return [models[i] for i in kept], kept

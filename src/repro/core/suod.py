@@ -1,0 +1,360 @@
+"""The SUOD meta-estimator: RP + PSA + BPS behind one API (Codeblock 1).
+
+Composes the three independent acceleration modules over a heterogeneous
+pool of base detectors:
+
+- **RP** (``rp_flag_global``): each eligible base model trains in its own
+  JL random subspace (diversity + compression). Subspace-style detectors
+  (iForest, HBOS, ...) are exempt per §3.3's caution, as are datasets too
+  small/narrow for the JL bound to be meaningful.
+- **BPS** (``bps_flag``): model costs are forecast and models assigned to
+  workers by balanced rank sums instead of contiguous equal counts.
+- **PSA** (``approx_flag_global``): after fitting, costly detectors get a
+  supervised stand-in for fast prediction on new samples.
+
+Every flag can be toggled independently, so the baseline of Table 5
+(``rp=False, approx=False, bps=False``) runs on identical machinery.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.combination import ecdf_standardise, moa, zscore_standardise
+from repro.core.approximation import Approximator, fit_approximators
+from repro.core.cost import AnalyticCostModel
+from repro.core.scheduling import bps_schedule, generic_schedule
+from repro.detectors.base import BaseDetector
+from repro.detectors.registry import family_of, is_costly
+from repro.parallel import get_backend
+from repro.projection import JLProjector, NoProjection, jl_target_dim
+from repro.utils.random import check_random_state, spawn_seeds
+from repro.utils.validation import check_array, check_is_fitted
+
+__all__ = ["SUOD", "RP_NG_FAMILIES"]
+
+# Families where projection "may not be helpful or even detrimental"
+# (§3.3): subspace / histogram / per-feature methods.
+RP_NG_FAMILIES = frozenset(
+    {"IsolationForest", "HBOS", "LODA", "COPOD", "PCAD"}
+)
+
+_COMBINERS = ("average", "maximization", "moa")
+
+
+def _fit_one(estimator: BaseDetector, X: np.ndarray) -> BaseDetector:
+    """Module-level fit task (must be picklable for the process backend)."""
+    return estimator.fit(X)
+
+
+def _score_one(scorer, X: np.ndarray) -> np.ndarray:
+    """Module-level predict task."""
+    return scorer.decision_function(X)
+
+
+class SUOD:
+    """Scalable framework for heterogeneous unsupervised outlier detection.
+
+    Parameters
+    ----------
+    base_estimators : sequence of BaseDetector
+        The heterogeneous model pool M (unfitted instances).
+    contamination : float in (0, 0.5], default 0.1
+        Outlier fraction for thresholding combined scores.
+    rp_flag_global : bool, default True
+        Master switch of the random-projection module.
+    rp_method : {'basic', 'discrete', 'circulant', 'toeplitz'}, default 'toeplitz'
+        JL family (toeplitz = the paper's default choice after Table 1).
+    rp_target_fraction : float in (0, 1], default 2/3
+        Target dimension as a fraction of d (Table 1 uses 2/3).
+    rp_min_features : int, default 4
+        Skip projection below this dimensionality (nothing to compress).
+    rp_min_samples : int, default 30
+        Skip projection for tiny datasets where the Eq. 1 bound is void.
+    approx_flag_global : bool, default True
+        Master switch of pseudo-supervised approximation.
+    approx_clf : regressor prototype or None
+        Supervised approximator (cloned per model). Default: the
+        library's RandomForestRegressor.
+    bps_flag : bool, default True
+        Master switch of balanced parallel scheduling (vs generic split).
+    cost_predictor : object with ``forecast(models, X)`` or None
+        Defaults to :class:`repro.core.cost.AnalyticCostModel`; pass a
+        trained :class:`repro.core.cost.CostPredictor` for learned costs.
+    n_jobs : int, default 1
+        Worker count t.
+    backend : {'sequential', 'threads', 'processes', 'simulated'}
+        Execution backend (see :mod:`repro.parallel`). With ``n_jobs=1``
+        the sequential backend is always used.
+    combination : {'average', 'maximization', 'moa'}, default 'average'
+        Combiner for the final score (the paper reports Avg and MOA).
+    standardisation : {'ecdf', 'zscore'}, default 'ecdf'
+        Per-model score unification applied before combination. The
+        paper's experiments z-score; 'ecdf' (quantile against each
+        model's training scores) is the robust default here because some
+        detectors (notably ABOD) emit score distributions whose tails are
+        orders of magnitude wider than their standard deviation and would
+        dominate an averaged z-score — see DESIGN.md.
+    random_state : seed or Generator.
+    verbose : bool, default False
+
+    Attributes
+    ----------
+    base_estimators_ : list of fitted detectors
+    projectors_ : list of fitted projectors (NoProjection when RP is off)
+    approximators_ : list of Approximator (empty if PSA globally off)
+    rp_flags_ : (m,) bool array — RP actually applied per model
+    approx_flags_ : (m,) bool array — PSA actually applied per model
+    fit_assignment_ : (m,) int array — worker of each model during fit
+    fit_result_ : repro.parallel.ExecutionResult of the fit phase
+    train_score_matrix_ : (m, n) raw train scores per model
+    decision_scores_, threshold_, labels_ : combined train outputs
+    """
+
+    def __init__(
+        self,
+        base_estimators: Sequence[BaseDetector],
+        *,
+        contamination: float = 0.1,
+        rp_flag_global: bool = True,
+        rp_method: str = "toeplitz",
+        rp_target_fraction: float = 2.0 / 3.0,
+        rp_min_features: int = 4,
+        rp_min_samples: int = 30,
+        approx_flag_global: bool = True,
+        approx_clf=None,
+        bps_flag: bool = True,
+        cost_predictor=None,
+        n_jobs: int = 1,
+        backend: str = "sequential",
+        combination: str = "average",
+        standardisation: str = "ecdf",
+        random_state=None,
+        verbose: bool = False,
+    ):
+        if not base_estimators:
+            raise ValueError("base_estimators must be a non-empty sequence")
+        for est in base_estimators:
+            if not isinstance(est, BaseDetector):
+                raise TypeError(
+                    f"base estimators must subclass BaseDetector, got {type(est)}"
+                )
+        if not 0.0 < contamination <= 0.5:
+            raise ValueError("contamination must be in (0, 0.5]")
+        if combination not in _COMBINERS:
+            raise ValueError(f"combination must be one of {_COMBINERS}")
+        if standardisation not in ("ecdf", "zscore"):
+            raise ValueError("standardisation must be 'ecdf' or 'zscore'")
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        self.base_estimators = list(base_estimators)
+        self.contamination = contamination
+        self.rp_flag_global = rp_flag_global
+        self.rp_method = rp_method
+        self.rp_target_fraction = rp_target_fraction
+        self.rp_min_features = rp_min_features
+        self.rp_min_samples = rp_min_samples
+        self.approx_flag_global = approx_flag_global
+        self.approx_clf = approx_clf
+        self.bps_flag = bps_flag
+        self.cost_predictor = cost_predictor
+        self.n_jobs = n_jobs
+        self.backend = backend
+        self.combination = combination
+        self.standardisation = standardisation
+        self.random_state = random_state
+        self.verbose = verbose
+
+    # ------------------------------------------------------------------
+    @property
+    def n_models(self) -> int:
+        return len(self.base_estimators)
+
+    def _log(self, msg: str) -> None:
+        if self.verbose:
+            print(f"[SUOD] {msg}")
+
+    def _make_backend(self):
+        if self.n_jobs == 1:
+            return get_backend("sequential")
+        return get_backend(self.backend, n_workers=self.n_jobs)
+
+    def _schedule(self, models, X) -> np.ndarray:
+        if self.n_jobs == 1:
+            return np.zeros(len(models), dtype=np.int64)
+        if not self.bps_flag:
+            return generic_schedule(len(models), self.n_jobs)
+        predictor = self.cost_predictor or AnalyticCostModel()
+        costs = predictor.forecast(models, X)
+        return bps_schedule(costs, self.n_jobs)
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y=None) -> "SUOD":
+        """Fit the heterogeneous pool (Algorithm 1, training phase)."""
+        X = check_array(X, name="X")
+        n, d = X.shape
+        rng = check_random_state(self.random_state)
+        m = self.n_models
+        seeds = spawn_seeds(rng, 2 * m)
+
+        # -- RP: per-model feature spaces (Algorithm 1 lines 1-8) -------
+        k = jl_target_dim(d, self.rp_target_fraction)
+        rp_flags = np.zeros(m, dtype=bool)
+        projectors = []
+        for i, est in enumerate(self.base_estimators):
+            use_rp = (
+                self.rp_flag_global
+                and family_of(est) not in RP_NG_FAMILIES
+                and d >= self.rp_min_features
+                and n >= self.rp_min_samples
+                and k < d
+            )
+            rp_flags[i] = use_rp
+            proj = (
+                JLProjector(k, family=self.rp_method, random_state=seeds[i])
+                if use_rp
+                else NoProjection()
+            )
+            projectors.append(proj.fit(X))
+        spaces = [proj.transform(X) for proj in projectors]
+        self._log(
+            f"RP: {int(rp_flags.sum())}/{m} models projected to k={k} "
+            f"({self.rp_method})"
+        )
+
+        # Seed stochastic estimators deterministically.
+        for i, est in enumerate(self.base_estimators):
+            if hasattr(est, "random_state") and est.random_state is None:
+                est.random_state = seeds[m + i]
+
+        # -- BPS + execution (Algorithm 1 lines 9-13) --------------------
+        assignment = self._schedule(self.base_estimators, X)
+        tasks = [
+            functools.partial(_fit_one, est, spaces[i])
+            for i, est in enumerate(self.base_estimators)
+        ]
+        backend = self._make_backend()
+        result = backend.execute(tasks, assignment)
+        result.raise_first_error()
+        self.base_estimators_ = list(result.results)
+        self.fit_assignment_ = assignment
+        self.fit_result_ = result
+        self._log(f"fit wall time: {result.wall_time:.3f}s")
+
+        self.projectors_ = projectors
+        self.rp_flags_ = rp_flags
+        self.n_features_in_ = d
+
+        # -- train score matrix + combination ----------------------------
+        self.train_score_matrix_ = np.stack(
+            [est.decision_scores_ for est in self.base_estimators_]
+        )
+        std_train = self._standardise(self.train_score_matrix_)
+        self.decision_scores_ = self._combine_pre(std_train)
+        self.threshold_ = float(
+            np.quantile(self.decision_scores_, 1.0 - self.contamination)
+        )
+        self.labels_ = (self.decision_scores_ > self.threshold_).astype(np.int64)
+
+        # -- PSA (Algorithm 1 lines 15-22) --------------------------------
+        if self.approx_flag_global:
+            flags = [is_costly(est) for est in self.base_estimators_]
+            regressor = self.approx_clf
+            if regressor is None:
+                from repro.supervised import RandomForestRegressor
+
+                # Seed the default approximator so the whole pipeline is
+                # reproducible under a fixed random_state.
+                regressor = RandomForestRegressor(
+                    random_state=spawn_seeds(rng, 1)[0]
+                )
+            self.approximators_ = fit_approximators(
+                self.base_estimators_,
+                spaces,
+                regressor=regressor,
+                approx_flags=flags,
+            )
+            self.approx_flags_ = np.array(
+                [a.approximated for a in self.approximators_]
+            )
+            self._log(f"PSA: {int(self.approx_flags_.sum())}/{m} models approximated")
+        else:
+            self.approximators_ = [
+                Approximator(est, enabled=False)
+                for est in self.base_estimators_
+            ]
+            self.approx_flags_ = np.zeros(m, dtype=bool)
+        return self
+
+    # ------------------------------------------------------------------
+    def _standardise(self, matrix: np.ndarray, ref: np.ndarray | None = None):
+        if self.standardisation == "zscore":
+            return zscore_standardise(matrix, ref=ref)
+        return ecdf_standardise(matrix, ref=ref)
+
+    def _combine_pre(self, standardised_matrix: np.ndarray) -> np.ndarray:
+        """Combine an already-standardised (m, l) score matrix."""
+        if self.combination == "average":
+            return standardised_matrix.mean(axis=0)
+        if self.combination == "maximization":
+            return standardised_matrix.max(axis=0)
+        n_buckets = min(5, standardised_matrix.shape[0])
+        return moa(
+            standardised_matrix,
+            n_buckets=n_buckets,
+            standardise=False,
+            random_state=0,
+        )
+
+    def decision_function_matrix(self, X) -> np.ndarray:
+        """Raw (m, l) score matrix on new samples (one row per model)."""
+        check_is_fitted(self, "base_estimators_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        spaces = [proj.transform(X) for proj in self.projectors_]
+        assignment = self._schedule(self.base_estimators_, X)
+        tasks = [
+            functools.partial(_score_one, approx, spaces[i])
+            for i, approx in enumerate(self.approximators_)
+        ]
+        backend = self._make_backend()
+        result = backend.execute(tasks, assignment)
+        result.raise_first_error()
+        self.predict_result_ = result
+        return np.stack(result.results)
+
+    def decision_function(self, X) -> np.ndarray:
+        """Combined outlyingness of new samples (larger = more outlying).
+
+        Per-model scores are unified against each model's *training*
+        distribution before combination, so heterogeneous scales stay
+        comparable between train and test.
+        """
+        matrix = self.decision_function_matrix(X)
+        matrix = self._standardise(matrix, ref=self.train_score_matrix_)
+        return self._combine_pre(matrix)
+
+    def predict(self, X) -> np.ndarray:
+        """Binary labels on new samples (1 = outlier).
+
+        Test scores live on the same (train-referenced) scale as
+        ``decision_scores_``, so the fit-time threshold applies directly.
+        """
+        return (self.decision_function(X) > self.threshold_).astype(np.int64)
+
+    def fit_predict(self, X, y=None) -> np.ndarray:
+        """Fit and return training labels."""
+        return self.fit(X).labels_
+
+    def __repr__(self) -> str:
+        return (
+            f"SUOD(m={self.n_models}, rp={self.rp_flag_global}, "
+            f"approx={self.approx_flag_global}, bps={self.bps_flag}, "
+            f"n_jobs={self.n_jobs}, backend={self.backend!r})"
+        )

@@ -1,0 +1,50 @@
+"""The two-dimensional toy dataset of Fig. 3 (§4.2).
+
+Per the paper: 200 samples — 160 inliers drawn from a Uniform
+distribution and 40 outliers drawn from a Normal distribution. We place
+the inliers uniformly in the box [-4, 4]^2 and draw outliers from a wide
+zero-mean Gaussian, rejection-sampled to land *outside* the inlier box
+(otherwise "outlier" labels would be meaningless), clipped to the plot
+range [-6, 6] used in the figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import check_random_state
+
+__all__ = ["make_fig3_toy"]
+
+
+def make_fig3_toy(
+    n_inliers: int = 160,
+    n_outliers: int = 40,
+    *,
+    inlier_box: float = 4.0,
+    plot_range: float = 6.0,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(X, y)`` with ``y = 1`` marking the Gaussian outliers."""
+    if n_inliers < 1 or n_outliers < 1:
+        raise ValueError("need at least one inlier and one outlier")
+    if not 0 < inlier_box < plot_range:
+        raise ValueError("require 0 < inlier_box < plot_range")
+    rng = check_random_state(random_state)
+
+    X_in = rng.uniform(-inlier_box, inlier_box, size=(n_inliers, 2))
+
+    outliers: list[np.ndarray] = []
+    while len(outliers) < n_outliers:
+        cand = rng.standard_normal(2) * plot_range * 0.75
+        if np.abs(cand).max() <= inlier_box:  # inside the inlier box
+            continue
+        outliers.append(np.clip(cand, -plot_range, plot_range))
+    X_out = np.vstack(outliers)
+
+    X = np.vstack([X_in, X_out])
+    y = np.concatenate(
+        [np.zeros(n_inliers, dtype=np.int64), np.ones(n_outliers, dtype=np.int64)]
+    )
+    perm = rng.permutation(X.shape[0])
+    return X[perm], y[perm]

@@ -1,0 +1,58 @@
+"""Unsupervised outlier detectors (from-scratch PyOD-equivalent substrate).
+
+Implements the eight algorithm families of the paper's experiments
+(Table B.1: ABOD, CBLOF, FeatureBagging, HBOS, IsolationForest, KNN, LOF,
+OCSVM) plus aKNN/MedKNN variants, LoOP, and the fast extension detectors
+PCAD, LODA, COPOD. All share the :class:`BaseDetector` fit /
+decision_function / predict API with "larger score = more outlying".
+"""
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.abod import ABOD
+from repro.detectors.cblof import CBLOF
+from repro.detectors.copod import COPOD
+from repro.detectors.feature_bagging import FeatureBagging
+from repro.detectors.hbos import HBOS
+from repro.detectors.iforest import IsolationForest
+from repro.detectors.knn import KNN, AvgKNN, MedKNN
+from repro.detectors.loda import LODA
+from repro.detectors.lof import LOF
+from repro.detectors.loop import LoOP
+from repro.detectors.ocsvm import OCSVM
+from repro.detectors.pcad import PCAD
+from repro.detectors.registry import (
+    COSTLY_FAMILIES,
+    FAMILIES,
+    FAST_FAMILIES,
+    TABLE_B1_GRID,
+    family_index,
+    family_of,
+    is_costly,
+    sample_model_pool,
+)
+
+__all__ = [
+    "BaseDetector",
+    "ABOD",
+    "CBLOF",
+    "COPOD",
+    "FeatureBagging",
+    "HBOS",
+    "IsolationForest",
+    "KNN",
+    "AvgKNN",
+    "MedKNN",
+    "LODA",
+    "LOF",
+    "LoOP",
+    "OCSVM",
+    "PCAD",
+    "FAMILIES",
+    "COSTLY_FAMILIES",
+    "FAST_FAMILIES",
+    "TABLE_B1_GRID",
+    "family_of",
+    "family_index",
+    "is_costly",
+    "sample_model_pool",
+]

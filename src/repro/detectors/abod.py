@@ -1,0 +1,79 @@
+"""Angle-Based Outlier Detection — fast kNN variant (Kriegel et al., 2008).
+
+Outliers sit at the border of the data cloud, so the *angles* they form
+with pairs of other points vary little; inliers, surrounded on all sides,
+see a wide spread of angles. The angle-based outlier factor (ABOF) is the
+variance of the distance-weighted cosine over pairs of neighbors; the
+decision score is ``-ABOF`` so that larger means more outlying, matching
+the library-wide convention.
+
+This is the fast variant: pairs are drawn from the k nearest neighbors
+only (the full O(n^3) enumeration is intractable at paper scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.neighbors import NearestNeighbors
+
+__all__ = ["ABOD"]
+
+_EPS = 1e-12
+
+
+def _abof(point: np.ndarray, neighbors: np.ndarray) -> float:
+    """Angle-based outlier factor of one point given its neighbor block.
+
+    Variance over neighbor pairs of the distance-weighted cosine
+    ``<a, b> / (|a|^2 |b|^2)``. The squared norms both weight by
+    proximity (dense surroundings -> large magnitudes -> high variance)
+    and normalise the angle, reproducing the original ABOF definition.
+    """
+    diff = neighbors - point  # (k, d)
+    k = diff.shape[0]
+    iu, ju = np.triu_indices(k, k=1)
+    a, b = diff[iu], diff[ju]
+    dot = np.einsum("ij,ij->i", a, b)
+    na = np.einsum("ij,ij->i", a, a)
+    nb = np.einsum("ij,ij->i", b, b)
+    weighted = dot / (na * nb + _EPS)
+    return float(weighted.var())
+
+
+class ABOD(BaseDetector):
+    """Fast angle-based outlier detector.
+
+    Parameters
+    ----------
+    n_neighbors : int, default 10
+        Neighborhood size from which angle pairs are drawn (needs >= 2).
+    contamination : float, default 0.1
+    """
+
+    def __init__(self, n_neighbors: int = 10, *, contamination: float = 0.1):
+        super().__init__(contamination=contamination)
+        self.n_neighbors = n_neighbors
+
+    def _validate_params(self, X: np.ndarray) -> None:
+        if not 2 <= self.n_neighbors <= X.shape[0] - 1:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} out of [2, {X.shape[0] - 1}]"
+            )
+
+    def _fit(self, X: np.ndarray) -> np.ndarray:
+        self._X = X
+        self._nn = NearestNeighbors(n_neighbors=self.n_neighbors).fit(X)
+        _, idx = self._nn.kneighbors()
+        return self._scores_from_neighbors(X, idx)
+
+    def _scores_from_neighbors(self, Q: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        scores = np.empty(Q.shape[0], dtype=np.float64)
+        for i in range(Q.shape[0]):
+            scores[i] = -_abof(Q[i], self._X[idx[i]])
+        return scores
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        _, idx = self._nn.kneighbors(X)
+        return self._scores_from_neighbors(X, idx)

@@ -1,0 +1,109 @@
+"""Base class for all unsupervised outlier detectors.
+
+Follows the PyOD convention the paper builds on (Codeblock 1): detectors
+are constructed with hyperparameters plus a ``contamination`` rate, fitted
+on unlabeled data, and expose
+
+- ``decision_scores_`` — outlyingness of the training samples (larger =
+  more outlying),
+- ``threshold_`` / ``labels_`` — derived from the contamination rate,
+- ``decision_function(X)`` — scores for new samples,
+- ``predict(X)`` — binary labels for new samples (1 = outlier).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_is_fitted
+
+__all__ = ["BaseDetector"]
+
+
+class BaseDetector(abc.ABC):
+    """Abstract unsupervised outlier detector.
+
+    Subclasses implement :meth:`_fit` (which must set any model state and
+    return the training scores) and :meth:`_score` (scores for new data).
+
+    Parameters
+    ----------
+    contamination : float in (0, 0.5], default 0.1
+        Expected outlier fraction; sets ``threshold_`` at the
+        ``(1 - contamination)`` quantile of training scores.
+    """
+
+    def __init__(self, contamination: float = 0.1):
+        if not 0.0 < contamination <= 0.5:
+            raise ValueError(
+                f"contamination must be in (0, 0.5], got {contamination}"
+            )
+        self.contamination = contamination
+
+    # -- subclass contract ---------------------------------------------
+    @abc.abstractmethod
+    def _fit(self, X: np.ndarray) -> np.ndarray:
+        """Fit on validated ``X`` and return training decision scores."""
+
+    @abc.abstractmethod
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        """Decision scores for validated new samples."""
+
+    # -- public API ------------------------------------------------------
+    def fit(self, X, y=None) -> "BaseDetector":
+        """Fit the detector. ``y`` is ignored (unsupervised API parity)."""
+        X = check_array(X, name="X")
+        self._validate_params(X)
+        scores = np.asarray(self._fit(X), dtype=np.float64)
+        if scores.shape != (X.shape[0],):
+            raise RuntimeError(
+                f"{type(self).__name__}._fit returned shape {scores.shape}, "
+                f"expected ({X.shape[0]},)"
+            )
+        self.n_features_in_ = X.shape[1]
+        self.decision_scores_ = scores
+        self.threshold_ = float(
+            np.quantile(scores, 1.0 - self.contamination)
+        )
+        self.labels_ = (scores > self.threshold_).astype(np.int64)
+        return self
+
+    def _validate_params(self, X: np.ndarray) -> None:
+        """Hook for subclass hyperparameter/shape checks before fit."""
+
+    def decision_function(self, X) -> np.ndarray:
+        """Outlyingness scores of new samples (larger = more outlying)."""
+        check_is_fitted(self, "decision_scores_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, detector was fitted on "
+                f"{self.n_features_in_}"
+            )
+        return np.asarray(self._score(X), dtype=np.float64)
+
+    def predict(self, X) -> np.ndarray:
+        """Binary outlier labels for new samples (1 = outlier)."""
+        return (self.decision_function(X) > self.threshold_).astype(np.int64)
+
+    def fit_predict(self, X, y=None) -> np.ndarray:
+        """Fit and return training labels."""
+        return self.fit(X).labels_
+
+    # -- introspection ----------------------------------------------------
+    def get_params(self) -> dict:
+        """Constructor parameters (sklearn-style, no private state)."""
+        import inspect
+
+        sig = inspect.signature(type(self).__init__)
+        return {
+            name: getattr(self, name)
+            for name in sig.parameters
+            if name not in ("self", "args", "kwargs") and hasattr(self, name)
+        }
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,102 @@
+"""Clustering-Based Local Outlier Factor (He, Xu & Deng, 2003).
+
+The training set is clustered with k-means; clusters are split into
+"large" and "small" by the (alpha, beta) rule of the original paper.
+A sample's outlyingness is its distance to the nearest *large* cluster
+centroid (samples in small clusters are measured against large-cluster
+centroids too — they are presumed outlying groups).
+
+This implementation follows PyOD's widely used variant: the distance is
+optionally weighted by cluster size (``use_weights``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import KMeans
+from repro.detectors.base import BaseDetector
+from repro.utils.distances import pairwise_distances
+
+__all__ = ["CBLOF"]
+
+
+class CBLOF(BaseDetector):
+    """Clustering-based local outlier factor.
+
+    Parameters
+    ----------
+    n_clusters : int, default 8
+    alpha : float in (0.5, 1), default 0.9
+        Large clusters must jointly cover at least ``alpha * n`` samples.
+    beta : float > 1, default 5.0
+        Alternative rule: a size ratio >= beta between consecutive
+        clusters (by size) marks the large/small boundary.
+    use_weights : bool, default False
+        Weight distances by cluster size.
+    random_state : seed or Generator (forwarded to k-means).
+    contamination : float, default 0.1
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        alpha: float = 0.9,
+        beta: float = 5.0,
+        use_weights: bool = False,
+        random_state=None,
+        contamination: float = 0.1,
+    ):
+        super().__init__(contamination=contamination)
+        self.n_clusters = n_clusters
+        self.alpha = alpha
+        self.beta = beta
+        self.use_weights = use_weights
+        self.random_state = random_state
+
+    def _validate_params(self, X: np.ndarray) -> None:
+        if not 0.5 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0.5, 1)")
+        if self.beta <= 1.0:
+            raise ValueError("beta must be > 1")
+        if not 1 <= self.n_clusters <= X.shape[0]:
+            raise ValueError(
+                f"n_clusters={self.n_clusters} out of [1, {X.shape[0]}]"
+            )
+
+    def _fit(self, X: np.ndarray) -> np.ndarray:
+        km = KMeans(
+            n_clusters=self.n_clusters, random_state=self.random_state
+        ).fit(X)
+        self._centers = km.cluster_centers_
+        sizes = np.bincount(km.labels_, minlength=self.n_clusters)
+
+        # Order clusters by size (descending) and find the large/small
+        # boundary with the alpha OR beta rule of the original paper.
+        order = np.argsort(-sizes)
+        sorted_sizes = sizes[order]
+        n = X.shape[0]
+        csum = np.cumsum(sorted_sizes)
+        boundary = self.n_clusters  # default: all clusters large
+        for i in range(self.n_clusters - 1):
+            alpha_rule = csum[i] >= self.alpha * n
+            beta_rule = (
+                sorted_sizes[i + 1] > 0
+                and sorted_sizes[i] / max(sorted_sizes[i + 1], 1) >= self.beta
+            )
+            if alpha_rule or beta_rule:
+                boundary = i + 1
+                break
+        large = np.zeros(self.n_clusters, dtype=bool)
+        large[order[:boundary]] = True
+        self._large_mask = large
+        self._sizes = sizes
+        return self._score(X)
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        large_centers = self._centers[self._large_mask]
+        D = pairwise_distances(X, large_centers)
+        if self.use_weights:
+            D = D * self._sizes[self._large_mask][None, :]
+        return D.min(axis=1)

@@ -1,0 +1,178 @@
+"""Detector family registry and the Table B.1 heterogeneous model pool.
+
+Centralises what the rest of the system needs to know *about* detectors:
+
+- the canonical family name of a detector instance (used for model
+  embeddings in the cost predictor, §3.5);
+- whether a family is **costly** — the predefined pool ``M_c`` that PSA
+  replaces by default (§3.4): proximity-based detectors with O(n d)
+  prediction are costly, histogram/tree detectors are not;
+- the hyperparameter grid of Table B.1 and a sampler that draws random
+  heterogeneous pools from it (used by Tables 4-5 and the examples).
+
+Unknown detector types are treated conservatively, matching the paper:
+"for unseen models, they are classified as 'unknown' to be assigned with
+the max cost".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.detectors.abod import ABOD
+from repro.detectors.base import BaseDetector
+from repro.detectors.cblof import CBLOF
+from repro.detectors.copod import COPOD
+from repro.detectors.feature_bagging import FeatureBagging
+from repro.detectors.hbos import HBOS
+from repro.detectors.iforest import IsolationForest
+from repro.detectors.knn import KNN, AvgKNN, MedKNN
+from repro.detectors.loda import LODA
+from repro.detectors.lof import LOF
+from repro.detectors.loop import LoOP
+from repro.detectors.ocsvm import OCSVM
+from repro.detectors.pcad import PCAD
+from repro.utils.random import check_random_state
+
+__all__ = [
+    "FAMILIES",
+    "COSTLY_FAMILIES",
+    "FAST_FAMILIES",
+    "family_of",
+    "is_costly",
+    "family_index",
+    "TABLE_B1_GRID",
+    "sample_model_pool",
+]
+
+# Family name -> (class, costly?). "Costly" = prediction is
+# proximity-based with per-query cost growing with n (see §3.4).
+FAMILIES: dict[str, tuple[type, bool]] = {
+    "ABOD": (ABOD, True),
+    "KNN": (KNN, True),
+    "AvgKNN": (AvgKNN, True),
+    "MedKNN": (MedKNN, True),
+    "LOF": (LOF, True),
+    "LoOP": (LoOP, True),
+    "CBLOF": (CBLOF, True),
+    "OCSVM": (OCSVM, True),
+    "FeatureBagging": (FeatureBagging, True),
+    "HBOS": (HBOS, False),
+    "IsolationForest": (IsolationForest, False),
+    "PCAD": (PCAD, False),
+    "LODA": (LODA, False),
+    "COPOD": (COPOD, False),
+}
+
+COSTLY_FAMILIES = frozenset(n for n, (_, costly) in FAMILIES.items() if costly)
+FAST_FAMILIES = frozenset(n for n, (_, costly) in FAMILIES.items() if not costly)
+
+_CLASS_TO_FAMILY = {cls: name for name, (cls, _) in FAMILIES.items()}
+_FAMILY_ORDER = sorted(FAMILIES) + ["unknown"]
+
+
+def family_of(detector: BaseDetector) -> str:
+    """Canonical family name of a detector instance ('unknown' if alien).
+
+    Subclass instances resolve to the most specific registered class, so
+    ``AvgKNN`` maps to its own family rather than to ``KNN``.
+    """
+    for cls in type(detector).__mro__:
+        if cls in _CLASS_TO_FAMILY:
+            return _CLASS_TO_FAMILY[cls]
+    return "unknown"
+
+
+def is_costly(detector: BaseDetector) -> bool:
+    """Whether PSA should replace this detector by default.
+
+    Unknown families count as costly — the conservative choice, mirroring
+    the cost predictor's max-cost rule for unseen models.
+    """
+    fam = family_of(detector)
+    return fam == "unknown" or fam in COSTLY_FAMILIES
+
+
+def family_index(detector: BaseDetector) -> int:
+    """Stable integer id of the family (for model embeddings)."""
+    return _FAMILY_ORDER.index(family_of(detector))
+
+
+# --------------------------------------------------------------------------
+# Table B.1: the hyperparameter grid of the paper's heterogeneous pool.
+# --------------------------------------------------------------------------
+TABLE_B1_GRID: dict[str, dict[str, list]] = {
+    "ABOD": {"n_neighbors": [3, 5, 10, 15, 20, 25, 50, 60, 70, 80, 90, 100]},
+    "CBLOF": {"n_clusters": [3, 5, 10, 15, 20]},
+    "FeatureBagging": {"n_estimators": [10, 20, 30, 40, 50, 75, 100, 150, 200]},
+    "HBOS": {
+        "n_bins": [5, 10, 20, 30, 40, 50, 75, 100],
+        "tol": [0.1, 0.2, 0.3, 0.4, 0.5],
+    },
+    "IsolationForest": {
+        "n_estimators": [10, 20, 30, 40, 50, 75, 100, 150, 200],
+        "max_features": [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+    },
+    "KNN": {
+        "n_neighbors": [1, 5, 10, 15, 20, 25, 50, 60, 70, 80, 90, 100],
+        "method": ["largest", "mean", "median"],
+    },
+    "LOF": {
+        "n_neighbors": [1, 5, 10, 15, 20, 25, 50, 60, 70, 80, 90, 100],
+        "metric": ["manhattan", "euclidean", "minkowski"],
+    },
+    "OCSVM": {
+        "nu": [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+        "kernel": ["linear", "poly", "rbf", "sigmoid"],
+    },
+}
+
+
+def sample_model_pool(
+    n_models: int,
+    *,
+    families: Sequence[str] | None = None,
+    max_n_neighbors: int | None = None,
+    random_state=None,
+) -> list[BaseDetector]:
+    """Draw a random heterogeneous pool from the Table B.1 grid.
+
+    Parameters
+    ----------
+    n_models : int
+        Pool size (the paper's experiments use 100-1000).
+    families : sequence of str or None
+        Restrict to these families; default = all of Table B.1.
+    max_n_neighbors : int or None
+        Clip neighbor counts (needed when the training set is small:
+        detectors require ``n_neighbors <= n - 1``).
+    random_state : seed or Generator.
+
+    Returns
+    -------
+    list of unfitted detector instances, order randomised (the paper's
+    "worst-case" shuffled setting, §4.4).
+    """
+    if n_models < 1:
+        raise ValueError("n_models must be >= 1")
+    rng = check_random_state(random_state)
+    fams = list(families) if families is not None else sorted(TABLE_B1_GRID)
+    unknown = [f for f in fams if f not in TABLE_B1_GRID]
+    if unknown:
+        raise ValueError(f"families not in Table B.1 grid: {unknown}")
+
+    pool: list[BaseDetector] = []
+    for _ in range(n_models):
+        fam = fams[int(rng.integers(len(fams)))]
+        grid = TABLE_B1_GRID[fam]
+        params = {}
+        for pname, choices in grid.items():
+            value = choices[int(rng.integers(len(choices)))]
+            if pname == "n_neighbors" and max_n_neighbors is not None:
+                value = min(value, max_n_neighbors)
+            params[pname] = value
+        cls = FAMILIES[fam][0]
+        pool.append(cls(**params))
+    return pool

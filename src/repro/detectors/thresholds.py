@@ -1,0 +1,72 @@
+"""Score-thresholding strategies beyond the contamination quantile.
+
+``BaseDetector`` thresholds by a known contamination rate, but real
+deployments rarely know it. These estimators derive a cutoff from the
+score distribution itself:
+
+- ``quantile`` — the classic contamination cut (needs the rate);
+- ``mad``   — median + z * MAD (robust z-score rule);
+- ``iqr``   — Tukey fence: Q3 + 1.5 IQR;
+- ``std``   — mean + z * std (assumes roughly Gaussian scores).
+
+All return a scalar threshold; labels are ``scores > threshold``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import column_or_1d
+
+__all__ = ["threshold_scores", "labels_from_scores"]
+
+_METHODS = ("quantile", "mad", "iqr", "std")
+
+
+def threshold_scores(
+    scores,
+    *,
+    method: str = "mad",
+    contamination: float | None = None,
+    z: float = 3.0,
+) -> float:
+    """Estimate an outlier threshold for decision scores.
+
+    Parameters
+    ----------
+    scores : (n,) array of outlyingness scores (larger = more outlying).
+    method : {'quantile', 'mad', 'iqr', 'std'}
+    contamination : float in (0, 0.5], required by ``quantile``.
+    z : float, deviation multiplier for ``mad`` / ``std``.
+    """
+    s = column_or_1d(np.asarray(scores, dtype=np.float64), name="scores")
+    if s.size < 2:
+        raise ValueError("need at least 2 scores")
+    if not np.all(np.isfinite(s)):
+        raise ValueError("scores contain NaN or infinity")
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}")
+    if z <= 0:
+        raise ValueError("z must be > 0")
+
+    if method == "quantile":
+        if contamination is None or not 0.0 < contamination <= 0.5:
+            raise ValueError("quantile method needs contamination in (0, 0.5]")
+        return float(np.quantile(s, 1.0 - contamination))
+    if method == "mad":
+        med = np.median(s)
+        mad = np.median(np.abs(s - med))
+        # 1.4826 scales MAD to the std of a Gaussian.
+        return float(med + z * 1.4826 * mad) if mad > 0 else float(med)
+    if method == "iqr":
+        q1, q3 = np.quantile(s, (0.25, 0.75))
+        return float(q3 + 1.5 * (q3 - q1))
+    # std
+    return float(s.mean() + z * s.std())
+
+
+def labels_from_scores(scores, **kwargs) -> np.ndarray:
+    """Binary labels (1 = outlier) via :func:`threshold_scores`."""
+    s = column_or_1d(np.asarray(scores, dtype=np.float64), name="scores")
+    thr = threshold_scores(s, **kwargs)
+    return (s > thr).astype(np.int64)

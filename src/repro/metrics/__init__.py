@@ -1,0 +1,28 @@
+"""Evaluation metrics used throughout the paper's experiments.
+
+Ranking metrics (ROC-AUC, P@N, average precision) evaluate detector
+quality; rank correlations validate the cost predictor (§3.5); the
+scheduling metrics quantify taskload imbalance (Eq. 2).
+"""
+
+from repro.metrics.ranking import (
+    roc_auc_score,
+    precision_at_n,
+    average_precision_score,
+    rank_scores,
+)
+from repro.metrics.correlation import spearmanr, kendalltau, pearsonr
+from repro.metrics.scheduling import makespan, imbalance, rank_sum_deviation
+
+__all__ = [
+    "roc_auc_score",
+    "precision_at_n",
+    "average_precision_score",
+    "rank_scores",
+    "spearmanr",
+    "kendalltau",
+    "pearsonr",
+    "makespan",
+    "imbalance",
+    "rank_sum_deviation",
+]

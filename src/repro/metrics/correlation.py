@@ -1,0 +1,64 @@
+"""Rank and linear correlation coefficients.
+
+Implemented from scratch (the paper validates its cost predictor with
+Spearman's rank correlation, §3.5); results are cross-checked against
+``scipy.stats`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.metrics.ranking import rank_scores
+from repro.utils.validation import check_consistent_length, column_or_1d
+
+__all__ = ["pearsonr", "spearmanr", "kendalltau"]
+
+
+def _validate_pair(x, y) -> tuple[np.ndarray, np.ndarray]:
+    x = column_or_1d(np.asarray(x, dtype=np.float64), name="x")
+    y = column_or_1d(np.asarray(y, dtype=np.float64), name="y")
+    check_consistent_length(x, y)
+    if x.size < 2:
+        raise ValueError("correlation requires at least 2 observations")
+    return x, y
+
+
+def pearsonr(x, y) -> float:
+    """Pearson linear correlation coefficient."""
+    x, y = _validate_pair(x, y)
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = math.sqrt(float(xc @ xc) * float(yc @ yc))
+    if denom == 0.0:
+        return 0.0
+    return float(xc @ yc) / denom
+
+
+def spearmanr(x, y) -> float:
+    """Spearman rank correlation: Pearson correlation of midranks."""
+    x, y = _validate_pair(x, y)
+    return pearsonr(rank_scores(x), rank_scores(y))
+
+
+def kendalltau(x, y) -> float:
+    """Kendall's tau-b (tie-corrected), O(n^2) pair enumeration.
+
+    Adequate for the cost-predictor validation sizes (tens to hundreds of
+    models); vectorised over the pair matrix.
+    """
+    x, y = _validate_pair(x, y)
+    dx = np.sign(x[:, None] - x[None, :])
+    dy = np.sign(y[:, None] - y[None, :])
+    iu = np.triu_indices(x.size, k=1)
+    sx, sy = dx[iu], dy[iu]
+    concordant_minus_discordant = float((sx * sy).sum())
+    n_pairs = sx.size
+    ties_x = n_pairs - int(np.count_nonzero(sx))
+    ties_y = n_pairs - int(np.count_nonzero(sy))
+    denom = math.sqrt((n_pairs - ties_x) * (n_pairs - ties_y))
+    if denom == 0.0:
+        return 0.0
+    return concordant_minus_discordant / denom

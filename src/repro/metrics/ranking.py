@@ -1,0 +1,111 @@
+"""Ranking metrics for outlier detection: ROC-AUC, P@N, average precision.
+
+All metrics take binary ground truth (1 = outlier) and continuous
+outlyingness scores (larger = more outlying), matching the paper's
+evaluation protocol (Appendix A): ROC and precision @ rank n where n is
+the true outlier count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_consistent_length, column_or_1d
+
+__all__ = [
+    "roc_auc_score",
+    "precision_at_n",
+    "average_precision_score",
+    "rank_scores",
+]
+
+
+def _validate_binary(y_true, y_score) -> tuple[np.ndarray, np.ndarray]:
+    y_true = column_or_1d(np.asarray(y_true), name="y_true")
+    y_score = column_or_1d(np.asarray(y_score, dtype=np.float64), name="y_score")
+    check_consistent_length(y_true, y_score)
+    if y_true.size == 0:
+        raise ValueError("y_true is empty")
+    labels = np.unique(y_true)
+    if not np.all(np.isin(labels, (0, 1))):
+        raise ValueError(f"y_true must be binary in {{0, 1}}, got labels {labels}")
+    if not np.all(np.isfinite(y_score)):
+        raise ValueError("y_score contains NaN or infinity")
+    return y_true.astype(np.int64), y_score
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Ties are handled with midranks, matching the trapezoidal-ROC value.
+    Raises if only one class is present (AUC undefined).
+    """
+    y_true, y_score = _validate_binary(y_true, y_score)
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score is undefined with a single class in y_true")
+    ranks = rank_scores(y_score)  # midranks, 1-based
+    u = ranks[y_true == 1].sum() - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def rank_scores(scores: np.ndarray) -> np.ndarray:
+    """1-based midranks of ``scores`` (average rank across ties)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def precision_at_n(y_true, y_score, n: int | None = None) -> float:
+    """Precision among the top-``n`` ranked samples (P@N).
+
+    Following the paper, ``n`` defaults to the actual number of outliers in
+    ``y_true``. Ties at the cut boundary are resolved by expected value:
+    tied samples share the remaining slots proportionally, which makes the
+    metric deterministic (no dependence on sort stability).
+    """
+    y_true, y_score = _validate_binary(y_true, y_score)
+    if n is None:
+        n = int(y_true.sum())
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    n = min(n, y_true.size)
+
+    # Threshold score of the n-th ranked sample (descending).
+    kth = np.partition(y_score, y_true.size - n)[y_true.size - n]
+    above = y_score > kth
+    at = y_score == kth
+    n_above = int(above.sum())
+    hits = float(y_true[above].sum())
+    slots_left = n - n_above
+    n_tied = int(at.sum())
+    if slots_left > 0 and n_tied > 0:
+        hits += slots_left * float(y_true[at].sum()) / n_tied
+    return hits / n
+
+
+def average_precision_score(y_true, y_score) -> float:
+    """Average precision (area under the precision-recall curve).
+
+    Computed as the sum over ranked positives of precision at each positive
+    hit, standard step-wise interpolation.
+    """
+    y_true, y_score = _validate_binary(y_true, y_score)
+    n_pos = int(y_true.sum())
+    if n_pos == 0:
+        raise ValueError("average_precision is undefined without positives")
+    order = np.argsort(-y_score, kind="mergesort")
+    hits = y_true[order]
+    cum_hits = np.cumsum(hits)
+    precision = cum_hits / np.arange(1, y_true.size + 1)
+    return float((precision * hits).sum() / n_pos)

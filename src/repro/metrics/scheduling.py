@@ -1,0 +1,59 @@
+"""Scheduling-quality metrics for the BPS module (§3.5).
+
+Given a partition of model costs across workers, these quantify how far
+the assignment is from the ideal perfectly-balanced schedule: the system's
+wall-clock time equals the *makespan* (slowest worker), and Eq. 2 of the
+paper minimises the total absolute deviation of per-worker rank sums from
+the uniform target.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["makespan", "imbalance", "rank_sum_deviation"]
+
+
+def _worker_loads(costs, assignment, n_workers: int) -> np.ndarray:
+    costs = np.asarray(costs, dtype=np.float64)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if costs.shape != assignment.shape:
+        raise ValueError("costs and assignment must have the same length")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if assignment.size and (assignment.min() < 0 or assignment.max() >= n_workers):
+        raise ValueError("assignment contains worker ids outside [0, n_workers)")
+    return np.bincount(assignment, weights=costs, minlength=n_workers)
+
+
+def makespan(costs: Sequence[float], assignment: Sequence[int], n_workers: int) -> float:
+    """Wall-clock time of the schedule: max total cost over workers."""
+    return float(_worker_loads(costs, assignment, n_workers).max(initial=0.0))
+
+
+def imbalance(costs: Sequence[float], assignment: Sequence[int], n_workers: int) -> float:
+    """Relative imbalance: ``makespan / mean_load - 1`` (0 = perfect).
+
+    A value of 0.5 means the slowest worker carries 50% more load than the
+    average, i.e. the system idles ~33% of its capacity.
+    """
+    loads = _worker_loads(costs, assignment, n_workers)
+    mean = loads.mean()
+    if mean == 0.0:
+        return 0.0
+    return float(loads.max() / mean - 1.0)
+
+
+def rank_sum_deviation(ranks: Sequence[float], assignment: Sequence[int], n_workers: int) -> float:
+    """The paper's Eq. 2 objective evaluated on a given assignment.
+
+    ``sum_i | sum_{j in W_i} rank_j - (m^2 + m) / (2t) |`` where ``m`` is
+    the number of models and ``t`` the number of workers. Lower is better.
+    """
+    ranks = np.asarray(ranks, dtype=np.float64)
+    loads = _worker_loads(ranks, assignment, n_workers)
+    m = ranks.size
+    target = (m * m + m) / (2.0 * n_workers)
+    return float(np.abs(loads - target).sum())

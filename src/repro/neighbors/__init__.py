@@ -1,0 +1,13 @@
+"""k-nearest-neighbor search substrate.
+
+Two interchangeable engines — chunked brute force and a from-scratch
+KD-tree — behind a single :class:`NearestNeighbors` facade with automatic
+dispatch. Every proximity-based detector in :mod:`repro.detectors` queries
+neighbors through this package.
+"""
+
+from repro.neighbors.brute import brute_force_kneighbors
+from repro.neighbors.kdtree import KDTree
+from repro.neighbors.api import NearestNeighbors
+
+__all__ = ["NearestNeighbors", "KDTree", "brute_force_kneighbors"]

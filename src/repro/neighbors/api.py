@@ -1,0 +1,104 @@
+"""Unified nearest-neighbor facade with automatic engine dispatch.
+
+``algorithm='auto'`` picks the KD-tree for low-dimensional Euclidean data
+(where pruning wins) and chunked brute force otherwise — mirroring how the
+paper's proximity detectors behave under the RP module, which shrinks
+dimensionality into KD-tree territory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neighbors.brute import brute_force_kneighbors
+from repro.neighbors.kdtree import KDTree
+from repro.utils.validation import check_array, check_is_fitted
+
+__all__ = ["NearestNeighbors"]
+
+_ALGORITHMS = ("auto", "brute", "kd_tree")
+
+# Beyond this dimensionality KD-tree pruning degenerates to a full scan
+# with per-node Python overhead; brute force is strictly better.
+_KDTREE_MAX_DIM = 15
+_KDTREE_MIN_SAMPLES = 256
+
+
+class NearestNeighbors:
+    """Exact k-NN index.
+
+    Parameters
+    ----------
+    n_neighbors : int, default 5
+        Default ``k`` used when a query does not override it.
+    algorithm : {'auto', 'brute', 'kd_tree'}
+        Search engine. ``auto`` dispatches on (n, d, metric).
+    metric : str, default 'euclidean'
+        One of the metrics of :mod:`repro.utils.distances`. Only
+        ``euclidean`` supports the KD-tree engine.
+    p : float
+        Minkowski order when ``metric='minkowski'``.
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        *,
+        algorithm: str = "auto",
+        metric: str = "euclidean",
+        p: float = 2.0,
+    ):
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
+        self.n_neighbors = n_neighbors
+        self.algorithm = algorithm
+        self.metric = metric
+        self.p = p
+
+    def fit(self, X) -> "NearestNeighbors":
+        X = check_array(X, name="X")
+        self._X = X
+        engine = self.algorithm
+        if engine == "auto":
+            engine = (
+                "kd_tree"
+                if (
+                    self.metric == "euclidean"
+                    and X.shape[1] <= _KDTREE_MAX_DIM
+                    and X.shape[0] >= _KDTREE_MIN_SAMPLES
+                )
+                else "brute"
+            )
+        if engine == "kd_tree" and self.metric != "euclidean":
+            raise ValueError("kd_tree engine supports only the euclidean metric")
+        self._engine = engine
+        self._tree = KDTree(X) if engine == "kd_tree" else None
+        return self
+
+    def kneighbors(
+        self, X=None, n_neighbors: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distances and indices of the k nearest fitted points.
+
+        With ``X=None`` the training data is queried with each point
+        excluded from its own neighborhood (the convention used when
+        scoring the training set).
+        """
+        check_is_fitted(self, "_X")
+        k = self.n_neighbors if n_neighbors is None else n_neighbors
+        exclude_self = X is None
+        Xq = self._X if exclude_self else check_array(X, name="X")
+        if Xq.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"query has {Xq.shape[1]} features, index has {self._X.shape[1]}"
+            )
+        if self._engine == "kd_tree":
+            return self._tree.query(Xq, k, exclude_self=exclude_self)
+        return brute_force_kneighbors(
+            self._X,
+            Xq,
+            k,
+            metric=self.metric,
+            p=self.p,
+            exclude_self=exclude_self,
+        )

@@ -1,0 +1,72 @@
+"""Chunked brute-force k-nearest-neighbor search.
+
+Exact, vectorised, and memory-bounded: the query set is processed in
+chunks so at most ``chunk_size * n_index`` distances are materialised at a
+time. ``np.argpartition`` gives O(n) selection of the k smallest per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.distances import pairwise_distances
+
+__all__ = ["brute_force_kneighbors"]
+
+
+def brute_force_kneighbors(
+    X_index: np.ndarray,
+    X_query: np.ndarray,
+    k: int,
+    *,
+    metric: str = "euclidean",
+    p: float = 2.0,
+    exclude_self: bool = False,
+    chunk_size: int = 1024,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(distances, indices)`` of the k nearest index points.
+
+    Parameters
+    ----------
+    X_index : (n, d) array
+        Points to search among.
+    X_query : (q, d) array
+        Query points.
+    k : int
+        Number of neighbors, ``1 <= k <= n`` (``n - 1`` if excluding self).
+    exclude_self : bool
+        If True, assumes ``X_query is X_index`` row-aligned and removes each
+        point from its own neighbor list (training-set scoring).
+
+    Returns
+    -------
+    distances : (q, k) float array, sorted ascending per row.
+    indices : (q, k) int array.
+    """
+    X_index = np.asarray(X_index, dtype=np.float64)
+    X_query = np.asarray(X_query, dtype=np.float64)
+    n = X_index.shape[0]
+    max_k = n - 1 if exclude_self else n
+    if not 1 <= k <= max_k:
+        raise ValueError(
+            f"k={k} out of range [1, {max_k}] for index of size {n}"
+            + (" (self excluded)" if exclude_self else "")
+        )
+    if exclude_self and X_query.shape[0] != n:
+        raise ValueError("exclude_self requires query aligned with index")
+
+    q = X_query.shape[0]
+    dists = np.empty((q, k), dtype=np.float64)
+    idxs = np.empty((q, k), dtype=np.int64)
+    for start in range(0, q, chunk_size):
+        sl = slice(start, min(start + chunk_size, q))
+        D = pairwise_distances(X_query[sl], X_index, metric=metric, p=p)
+        if exclude_self:
+            rows = np.arange(sl.start, sl.stop)
+            D[np.arange(rows.size), rows] = np.inf
+        part = np.argpartition(D, k - 1, axis=1)[:, :k]
+        part_d = np.take_along_axis(D, part, axis=1)
+        order = np.argsort(part_d, axis=1, kind="mergesort")
+        idxs[sl] = np.take_along_axis(part, order, axis=1)
+        dists[sl] = np.take_along_axis(part_d, order, axis=1)
+    return dists, idxs

@@ -1,0 +1,166 @@
+"""From-scratch KD-tree for exact Euclidean k-NN queries.
+
+Array-backed, iteratively queried, with vectorised leaf evaluation:
+internal nodes store a split dimension/value; leaves store point-index
+slices into a reordered copy of the data, so each visited leaf costs one
+small vectorised distance computation rather than a Python loop over
+points.
+
+The tree targets low/medium dimensionality (the regime the paper's RP
+module creates); :class:`repro.neighbors.api.NearestNeighbors` dispatches
+back to brute force when ``d`` is large and pruning cannot win.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["KDTree"]
+
+_LEAF = -1
+
+
+class KDTree:
+    """Exact Euclidean KD-tree.
+
+    Parameters
+    ----------
+    X : (n, d) array
+        Points to index. A reordered copy is kept.
+    leaf_size : int, default 40
+        Maximum number of points per leaf.
+    """
+
+    def __init__(self, X: np.ndarray, *, leaf_size: int = 40):
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] == 0:
+            raise ValueError("cannot build a KDTree on zero points")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.leaf_size = int(leaf_size)
+        n = X.shape[0]
+        self._perm = np.arange(n)
+
+        # Flat node arrays, grown during the build.
+        split_dim: list[int] = []
+        split_val: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        start: list[int] = []
+        end: list[int] = []
+
+        def build(lo: int, hi: int) -> int:
+            node = len(split_dim)
+            split_dim.append(_LEAF)
+            split_val.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            start.append(lo)
+            end.append(hi)
+            if hi - lo <= self.leaf_size:
+                return node
+            idx = self._perm[lo:hi]
+            block = X[idx]
+            spreads = block.max(axis=0) - block.min(axis=0)
+            dim = int(np.argmax(spreads))
+            if spreads[dim] == 0.0:  # all duplicate points: keep as leaf
+                return node
+            mid = (hi - lo) // 2
+            order = np.argpartition(block[:, dim], mid)
+            self._perm[lo:hi] = idx[order]
+            value = X[self._perm[lo + mid], dim]
+            split_dim[node] = dim
+            split_val[node] = float(value)
+            left[node] = build(lo, lo + mid)
+            right[node] = build(lo + mid, hi)
+            return node
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 4 * int(np.log2(n + 1)) + 10000))
+        try:
+            build(0, n)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        self._split_dim = np.array(split_dim, dtype=np.int64)
+        self._split_val = np.array(split_val, dtype=np.float64)
+        self._left = np.array(left, dtype=np.int64)
+        self._right = np.array(right, dtype=np.int64)
+        self._start = np.array(start, dtype=np.int64)
+        self._end = np.array(end, dtype=np.int64)
+        self._data = X[self._perm]
+        self.n_samples_, self.n_features_ = X.shape
+
+    # ------------------------------------------------------------------
+    def query(
+        self, X_query: np.ndarray, k: int, *, exclude_self: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """k nearest neighbors of each query point.
+
+        Returns ``(distances, indices)`` sorted ascending per row; indices
+        refer to the original (pre-permutation) row order. With
+        ``exclude_self`` the query is assumed row-aligned with the indexed
+        data and each point skips itself.
+        """
+        X_query = np.asarray(X_query, dtype=np.float64)
+        if X_query.ndim != 2 or X_query.shape[1] != self.n_features_:
+            raise ValueError(
+                f"query must be (q, {self.n_features_}), got {X_query.shape}"
+            )
+        max_k = self.n_samples_ - 1 if exclude_self else self.n_samples_
+        if not 1 <= k <= max_k:
+            raise ValueError(f"k={k} out of range [1, {max_k}]")
+
+        q = X_query.shape[0]
+        out_d = np.empty((q, k), dtype=np.float64)
+        out_i = np.empty((q, k), dtype=np.int64)
+        for qi in range(q):
+            out_d[qi], out_i[qi] = self._query_one(
+                X_query[qi], k, qi if exclude_self else -1
+            )
+        return out_d, out_i
+
+    def _query_one(self, x: np.ndarray, k: int, self_index: int):
+        # Max-heap of the current k best as (-dist, original_index).
+        heap: list[tuple[float, int]] = []
+        # Min-heap of nodes to visit as (lower_bound_dist, node).
+        node_heap: list[tuple[float, int]] = [(0.0, 0)]
+        while node_heap:
+            bound, node = heapq.heappop(node_heap)
+            if len(heap) == k and bound >= -heap[0][0]:
+                break
+            dim = self._split_dim[node]
+            if dim == _LEAF:
+                lo, hi = self._start[node], self._end[node]
+                block = self._data[lo:hi]
+                d = np.sqrt(((block - x) ** 2).sum(axis=1))
+                orig = self._perm[lo:hi]
+                for dist, oi in zip(d, orig):
+                    if oi == self_index:
+                        continue
+                    if len(heap) < k:
+                        heapq.heappush(heap, (-dist, int(oi)))
+                    elif dist < -heap[0][0]:
+                        heapq.heapreplace(heap, (-dist, int(oi)))
+                continue
+            diff = x[dim] - self._split_val[node]
+            near, far = (
+                (self._right[node], self._left[node])
+                if diff >= 0
+                else (self._left[node], self._right[node])
+            )
+            heapq.heappush(node_heap, (bound, near))
+            far_bound = max(bound, abs(diff))
+            if len(heap) < k or far_bound < -heap[0][0]:
+                heapq.heappush(node_heap, (far_bound, far))
+
+        pairs = sorted((-nd, oi) for nd, oi in heap)
+        dists = np.array([p[0] for p in pairs], dtype=np.float64)
+        idxs = np.array([p[1] for p in pairs], dtype=np.int64)
+        return dists, idxs

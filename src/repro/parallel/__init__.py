@@ -1,0 +1,37 @@
+"""Execution-level substrate: worker backends for distributed OD.
+
+The paper's setting is "scale-up" parallelism — t workers (cores) on one
+machine (§2.2). This package provides interchangeable backends behind one
+interface:
+
+- :class:`SequentialBackend` — single worker, measures true per-task cost;
+- :class:`ThreadBackend` — one thread per worker (real concurrency for
+  NumPy-bound tasks that release the GIL);
+- :class:`ProcessBackend` — one process per worker;
+- :class:`SimulatedClusterBackend` — executes tasks once on the local
+  core while *replaying* their measured costs through t virtual workers
+  with a virtual clock. On a single-core host this reproduces exactly the
+  quantity the BPS scheduler optimises (the makespan of the assignment)
+  without needing t physical cores — see DESIGN.md substitution table.
+
+All backends take a pre-computed ``assignment`` (task -> worker), so the
+scheduling policy (generic vs BPS) stays a separate, testable concern.
+"""
+
+from repro.parallel.execution import (
+    ExecutionResult,
+    SequentialBackend,
+    ThreadBackend,
+    ProcessBackend,
+    SimulatedClusterBackend,
+    get_backend,
+)
+
+__all__ = [
+    "ExecutionResult",
+    "SequentialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SimulatedClusterBackend",
+    "get_backend",
+]

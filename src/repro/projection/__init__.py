@@ -1,0 +1,25 @@
+"""Data-level module: random projection for data compression (§3.3).
+
+Implements the four Johnson-Lindenstrauss transformation-matrix families
+the paper studies (``basic``, ``discrete``, ``circulant``, ``toeplitz``)
+and the comparison baselines of Table 1 (``original``, ``PCA``, ``RS``
+random feature selection), all behind a common fit/transform interface.
+"""
+
+from repro.projection.base import BaseProjector, NoProjection
+from repro.projection.jl import JLProjector, JL_FAMILIES
+from repro.projection.pca import PCAProjector
+from repro.projection.random_select import RandomFeatureSelector
+from repro.projection.factory import make_projector, PROJECTION_METHODS, jl_target_dim
+
+__all__ = [
+    "BaseProjector",
+    "NoProjection",
+    "JLProjector",
+    "JL_FAMILIES",
+    "PCAProjector",
+    "RandomFeatureSelector",
+    "make_projector",
+    "PROJECTION_METHODS",
+    "jl_target_dim",
+]

@@ -1,0 +1,58 @@
+"""Projector interface shared by all compression methods of Table 1."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_is_fitted
+
+__all__ = ["BaseProjector", "NoProjection"]
+
+
+class BaseProjector(abc.ABC):
+    """fit/transform interface over (n, d) -> (n, k) feature maps.
+
+    The fitted transformation must be reused on new-coming samples
+    ("the transformation matrix W should be kept for transforming
+    newcoming samples", §3.3) — hence the stateful API.
+    """
+
+    @abc.abstractmethod
+    def fit(self, X) -> "BaseProjector":
+        """Learn/draw the transformation from training data."""
+
+    @abc.abstractmethod
+    def transform(self, X) -> np.ndarray:
+        """Apply the fitted transformation."""
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def _check_input(self, X, expected_d: int | None = None) -> np.ndarray:
+        X = check_array(X, name="X")
+        if expected_d is not None and X.shape[1] != expected_d:
+            raise ValueError(
+                f"X has {X.shape[1]} features, projector was fitted on {expected_d}"
+            )
+        return X
+
+
+class NoProjection(BaseProjector):
+    """Identity projector: the paper's ``original`` baseline.
+
+    Also used internally for base models whose RP flag is off (subspace
+    methods like iForest and HBOS, where projection "may not be helpful
+    or even detrimental", §3.3).
+    """
+
+    def fit(self, X) -> "NoProjection":
+        X = self._check_input(X)
+        self.n_features_in_ = X.shape[1]
+        self.n_components_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "n_features_in_")
+        return self._check_input(X, self.n_features_in_)

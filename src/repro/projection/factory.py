@@ -1,0 +1,45 @@
+"""Factory mapping Table 1 method names to projector instances."""
+
+from __future__ import annotations
+
+from repro.projection.base import BaseProjector, NoProjection
+from repro.projection.jl import JLProjector, JL_FAMILIES
+from repro.projection.pca import PCAProjector
+from repro.projection.random_select import RandomFeatureSelector
+
+__all__ = ["make_projector", "PROJECTION_METHODS", "jl_target_dim"]
+
+PROJECTION_METHODS = ("original", "PCA", "RS") + JL_FAMILIES
+
+
+def jl_target_dim(n_features: int, fraction: float = 2.0 / 3.0) -> int:
+    """The paper's Table 1 compression target ``k = fraction * d``.
+
+    The default reproduces the "reduced dimension is set as k = 2/3 d
+    (33% compression)" setting.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    return max(1, int(round(fraction * n_features)))
+
+
+def make_projector(
+    method: str, n_components: int, *, random_state=None
+) -> BaseProjector:
+    """Instantiate the projector for a Table 1 method name.
+
+    ``method`` is one of :data:`PROJECTION_METHODS`: ``original`` (no-op),
+    ``PCA``, ``RS`` (random feature selection), or a JL family name
+    (``basic`` / ``discrete`` / ``circulant`` / ``toeplitz``).
+    """
+    if method == "original":
+        return NoProjection()
+    if method == "PCA":
+        return PCAProjector(n_components)
+    if method == "RS":
+        return RandomFeatureSelector(n_components, random_state=random_state)
+    if method in JL_FAMILIES:
+        return JLProjector(n_components, family=method, random_state=random_state)
+    raise ValueError(
+        f"Unknown projection method {method!r}; choose from {PROJECTION_METHODS}"
+    )

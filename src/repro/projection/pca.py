@@ -1,0 +1,51 @@
+"""PCA projection baseline of Table 1.
+
+Deterministic, so it induces no diversity across base models — the
+property the paper blames for PCA underperforming JL methods in
+heterogeneous ensembles (§2.2). Implemented via SVD of the centred data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.projection.base import BaseProjector
+from repro.utils.validation import check_is_fitted
+
+__all__ = ["PCAProjector"]
+
+
+class PCAProjector(BaseProjector):
+    """Project onto the top ``n_components`` principal axes.
+
+    Attributes
+    ----------
+    components_ : (k, d) principal axes (rows).
+    explained_variance_ratio_ : (k,) fraction of variance per axis.
+    """
+
+    def __init__(self, n_components: int):
+        self.n_components = n_components
+
+    def fit(self, X) -> "PCAProjector":
+        X = self._check_input(X)
+        n, d = X.shape
+        k = self.n_components
+        if not 1 <= k <= min(n, d):
+            raise ValueError(f"n_components={k} out of [1, {min(n, d)}]")
+        self._mean = X.mean(axis=0)
+        _, s, Vt = np.linalg.svd(X - self._mean, full_matrices=False)
+        self.components_ = Vt[:k]
+        var = s**2
+        total = var.sum()
+        self.explained_variance_ratio_ = (
+            var[:k] / total if total > 0 else np.zeros(k)
+        )
+        self.n_features_in_ = d
+        self.n_components_ = k
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "components_")
+        X = self._check_input(X, self.n_features_in_)
+        return (X - self._mean) @ self.components_.T

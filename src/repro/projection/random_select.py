@@ -1,0 +1,48 @@
+"""Random feature selection (the 'RS' baseline of Table 1).
+
+Selects k of the d original features uniformly at random — the subspace
+mechanism used by Feature Bagging (Lazarevic & Kumar, 2005) and LSCP.
+Cheap and diversity-inducing, but unlike JL projections it discards
+(d - k) coordinates outright rather than mixing them, so pairwise
+distances are not preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.projection.base import BaseProjector
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_is_fitted
+
+__all__ = ["RandomFeatureSelector"]
+
+
+class RandomFeatureSelector(BaseProjector):
+    """Keep a random subset of ``n_components`` original features.
+
+    Attributes
+    ----------
+    selected_features_ : (k,) sorted int array of kept column indices.
+    """
+
+    def __init__(self, n_components: int, *, random_state=None):
+        self.n_components = n_components
+        self.random_state = random_state
+
+    def fit(self, X) -> "RandomFeatureSelector":
+        X = self._check_input(X)
+        d = X.shape[1]
+        k = self.n_components
+        if not 1 <= k <= d:
+            raise ValueError(f"n_components={k} out of [1, {d}]")
+        rng = check_random_state(self.random_state)
+        self.selected_features_ = np.sort(rng.choice(d, size=k, replace=False))
+        self.n_features_in_ = d
+        self.n_components_ = k
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "selected_features_")
+        X = self._check_input(X, self.n_features_in_)
+        return X[:, self.selected_features_]

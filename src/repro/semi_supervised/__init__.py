@@ -1,0 +1,15 @@
+"""Semi-supervised extension: XGBOD-style detection (paper future work).
+
+The SUOD paper's future-work list includes demonstrating the framework
+under "supervised XGBOD" (Zhao & Hryniewicki, IJCNN 2018): when *some*
+labels exist, unsupervised detector scores become augmented features —
+"unsupervised representation learning" — for a boosted supervised
+model. :class:`XGBOD` implements that recipe on this library's own
+substrate (heterogeneous pool for representations, gradient-boosted
+trees for the supervised stage), and composes with SUOD's acceleration
+modules for the representation pass.
+"""
+
+from repro.semi_supervised.xgbod import XGBOD
+
+__all__ = ["XGBOD"]

@@ -1,0 +1,169 @@
+"""XGBOD: improving supervised outlier detection with unsupervised
+representation learning (Zhao & Hryniewicki, 2018) — on this library's
+substrate.
+
+Recipe:
+
+1. fit a pool of heterogeneous unsupervised detectors on the training
+   data (optionally through :class:`repro.core.SUOD` for acceleration);
+2. each detector's (train-referenced, standardised) score becomes one
+   *transformed outlier score* (TOS) feature; optionally only the most
+   label-correlated TOS are kept (the original paper's "accurate
+   selection");
+3. concatenate ``[X, TOS]`` and train a boosted-tree model on the known
+   labels (least-squares boosting on 0/1 targets — the scores are then
+   ranked, which is all the OD metrics need).
+
+Prediction mirrors the transform: score new samples with the fitted
+pool (through PSA approximators when SUOD provides them), append, and
+run the supervised model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.combination import ecdf_standardise
+from repro.core.suod import SUOD
+from repro.detectors.base import BaseDetector
+from repro.metrics.correlation import pearsonr
+from repro.supervised.gbm import GradientBoostingRegressor
+from repro.utils.validation import check_array, check_is_fitted, column_or_1d
+
+__all__ = ["XGBOD"]
+
+
+class XGBOD:
+    """Semi-supervised outlier detector with TOS feature augmentation.
+
+    Parameters
+    ----------
+    base_estimators : sequence of BaseDetector
+        Unsupervised pool used for representation learning.
+    n_selected : int or None, default None
+        Keep only the ``n_selected`` TOS features most correlated with
+        the training labels (None keeps all).
+    booster : regressor or None
+        Supervised stage; default
+        ``GradientBoostingRegressor(n_estimators=100, max_depth=3)``.
+    use_suod : bool, default True
+        Fit the pool through SUOD (RP off — TOS features must live in
+        the original sample space per model semantics — PSA on for fast
+        prediction, BPS per ``n_jobs``).
+    n_jobs, random_state : forwarded to SUOD.
+
+    Attributes
+    ----------
+    suod_ : fitted SUOD wrapper (when ``use_suod``)
+    selected_tos_ : indices of kept TOS features
+    booster_ : fitted supervised model
+    decision_scores_, labels_, threshold_ : training outputs
+    """
+
+    def __init__(
+        self,
+        base_estimators: Sequence[BaseDetector],
+        *,
+        n_selected: int | None = None,
+        booster=None,
+        use_suod: bool = True,
+        contamination: float = 0.1,
+        n_jobs: int = 1,
+        random_state=None,
+    ):
+        if not base_estimators:
+            raise ValueError("base_estimators must be non-empty")
+        if n_selected is not None and n_selected < 1:
+            raise ValueError("n_selected must be >= 1 or None")
+        if not 0.0 < contamination <= 0.5:
+            raise ValueError("contamination must be in (0, 0.5]")
+        self.base_estimators = list(base_estimators)
+        self.n_selected = n_selected
+        self.booster = booster
+        self.use_suod = use_suod
+        self.contamination = contamination
+        self.n_jobs = n_jobs
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def _tos_matrix(self, X, *, train: bool) -> np.ndarray:
+        """(n, m) standardised transformed-outlier-score features."""
+        if train:
+            raw = self.suod_.train_score_matrix_
+        else:
+            raw = self.suod_.decision_function_matrix(X)
+        U = ecdf_standardise(raw, ref=self.suod_.train_score_matrix_)
+        return U.T  # (n, m)
+
+    def fit(self, X, y) -> "XGBOD":
+        """Fit on data with (possibly partial) labels.
+
+        ``y`` is 0/1 with 1 = known outlier; unlabeled samples should be
+        passed as 0 (the XGBOD assumption: unlabeled ~ inlier-dominated).
+        """
+        X = check_array(X, name="X")
+        y = column_or_1d(np.asarray(y, dtype=np.float64), name="y")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if not np.all(np.isin(np.unique(y), (0.0, 1.0))):
+            raise ValueError("y must be binary in {0, 1}")
+
+        # Representation pass. RP stays off: each TOS must be a function
+        # of the same input row for train and test alike, which SUOD
+        # guarantees per model via its stored projectors — but original-
+        # space scores keep the TOS interpretable as in XGBOD.
+        self.suod_ = SUOD(
+            self.base_estimators,
+            rp_flag_global=False,
+            approx_flag_global=True,
+            bps_flag=self.n_jobs > 1,
+            n_jobs=self.n_jobs,
+            random_state=self.random_state,
+        ).fit(X)
+        tos = self._tos_matrix(X, train=True)
+
+        # TOS selection by label correlation (the "accurate" selector).
+        m = tos.shape[1]
+        if self.n_selected is not None and self.n_selected < m:
+            corr = np.array([abs(pearsonr(tos[:, j], y)) for j in range(m)])
+            self.selected_tos_ = np.sort(
+                np.argsort(-corr, kind="mergesort")[: self.n_selected]
+            )
+        else:
+            self.selected_tos_ = np.arange(m)
+
+        features = np.hstack([X, tos[:, self.selected_tos_]])
+        self.booster_ = (
+            self.booster
+            if self.booster is not None
+            else GradientBoostingRegressor(
+                n_estimators=100, max_depth=3, random_state=self.random_state
+            )
+        )
+        self.booster_.fit(features, y)
+
+        self.decision_scores_ = np.asarray(self.booster_.predict(features))
+        self.threshold_ = float(
+            np.quantile(self.decision_scores_, 1.0 - self.contamination)
+        )
+        self.labels_ = (self.decision_scores_ > self.threshold_).astype(np.int64)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Supervised outlyingness of new samples (larger = more outlying)."""
+        check_is_fitted(self, "booster_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        tos = self._tos_matrix(X, train=False)
+        features = np.hstack([X, tos[:, self.selected_tos_]])
+        return np.asarray(self.booster_.predict(features))
+
+    def predict(self, X) -> np.ndarray:
+        """Binary outlier labels for new samples (1 = outlier)."""
+        return (self.decision_function(X) > self.threshold_).astype(np.int64)

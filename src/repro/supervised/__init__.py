@@ -1,0 +1,29 @@
+"""Supervised regression substrate for pseudo-supervised approximation.
+
+The paper's PSA module (§3.4) replaces each costly unsupervised detector
+with a fast supervised regressor trained on pseudo ground truth. With no
+scikit-learn available, the regressors are implemented here from scratch:
+
+- :class:`DecisionTreeRegressor` — vectorised CART with MSE criterion;
+- :class:`RandomForestRegressor` — bagged trees with feature subsampling
+  and impurity-based feature importances (the paper's default
+  approximator and cost-predictor model);
+- :class:`Ridge` — L2-regularised linear regression (a deliberately weak
+  approximator used in the paper's "linear models may not benefit"
+  discussion and in ablations);
+- :class:`KNeighborsRegressor` — distance-based baseline approximator.
+"""
+
+from repro.supervised.tree import DecisionTreeRegressor
+from repro.supervised.forest import RandomForestRegressor
+from repro.supervised.linear import Ridge
+from repro.supervised.knn_regressor import KNeighborsRegressor
+from repro.supervised.gbm import GradientBoostingRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "Ridge",
+    "KNeighborsRegressor",
+    "GradientBoostingRegressor",
+]

@@ -1,0 +1,78 @@
+"""k-nearest-neighbor regression baseline approximator.
+
+Included in the approximator ablation (A4): unlike trees, its prediction
+cost is *not* lower than the proximity detectors it would approximate, so
+PSA's "only replace when cheaper" rule (§3.4) correctly excludes it by
+default — the ablation quantifies why.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neighbors import NearestNeighbors
+from repro.utils.validation import check_array, check_is_fitted, column_or_1d
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor:
+    """Uniform or distance-weighted k-NN regression.
+
+    Parameters
+    ----------
+    n_neighbors : int, default 5
+    weights : {'uniform', 'distance'}
+        ``distance`` weights neighbors by inverse distance (with exact
+        matches short-circuiting to the exact target mean).
+    """
+
+    def __init__(self, n_neighbors: int = 5, *, weights: str = "uniform"):
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        X = check_array(X, name="X")
+        y = column_or_1d(np.asarray(y, dtype=np.float64), name="y")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if not 1 <= self.n_neighbors <= X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} out of [1, {X.shape[0]}]"
+            )
+        self._nn = NearestNeighbors(n_neighbors=self.n_neighbors).fit(X)
+        self._y = y
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "_nn")
+        X = check_array(X, name="X")
+        dist, idx = self._nn.kneighbors(X)
+        targets = self._y[idx]
+        if self.weights == "uniform":
+            return targets.mean(axis=1)
+        exact = dist[:, 0] == 0.0
+        with np.errstate(divide="ignore"):
+            w = 1.0 / dist
+        w[~np.isfinite(w)] = 0.0
+        out = np.empty(X.shape[0])
+        nonzero = w.sum(axis=1) > 0
+        out[nonzero] = (w[nonzero] * targets[nonzero]).sum(axis=1) / w[nonzero].sum(axis=1)
+        out[~nonzero] = targets[~nonzero].mean(axis=1)
+        if exact.any():
+            # Average over the zero-distance matches only.
+            for i in np.nonzero(exact)[0]:
+                zero = dist[i] == 0.0
+                out[i] = targets[i][zero].mean()
+        return out
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R^2."""
+        y = column_or_1d(np.asarray(y, dtype=np.float64))
+        pred = self.predict(X)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0

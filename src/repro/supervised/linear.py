@@ -1,0 +1,74 @@
+"""L2-regularised linear regression (ridge).
+
+Used as a deliberately simple approximator in ablations: the paper's
+conclusion notes that proximity-based detectors benefit from
+approximation "whereas linear models may not" — ridge lets the benchmark
+demonstrate that contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_is_fitted, column_or_1d
+
+__all__ = ["Ridge"]
+
+
+class Ridge:
+    """Ridge regression via the normal equations.
+
+    Solves ``min ||X w + b - y||^2 + alpha ||w||^2`` (intercept not
+    penalised) with a Cholesky/``solve`` on the Gram matrix; falls back to
+    least squares when the system is singular.
+    """
+
+    def __init__(self, alpha: float = 1.0, *, fit_intercept: bool = True):
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "Ridge":
+        X = check_array(X, name="X")
+        y = column_or_1d(np.asarray(y, dtype=np.float64), name="y")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if self.alpha < 0:
+            raise ValueError("alpha must be >= 0")
+
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = y.mean()
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+
+        gram = Xc.T @ Xc
+        gram[np.diag_indices_from(gram)] += self.alpha
+        try:
+            w = np.linalg.solve(gram, Xc.T @ yc)
+        except np.linalg.LinAlgError:
+            w, *_ = np.linalg.lstsq(gram, Xc.T @ yc, rcond=None)
+        self.coef_ = w
+        self.intercept_ = float(y_mean - x_mean @ w)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R^2."""
+        y = column_or_1d(np.asarray(y, dtype=np.float64))
+        pred = self.predict(X)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0

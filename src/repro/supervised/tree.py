@@ -1,0 +1,246 @@
+"""CART regression tree with vectorised split search.
+
+The tree is stored in flat arrays (feature, threshold, children, value),
+built iteratively with an explicit stack. Split search per node is fully
+vectorised: each candidate feature is sorted once and the best threshold
+found from prefix sums of ``y`` and ``y^2`` (variance-reduction / MSE
+criterion), so the per-node cost is ``O(d' * n log n)`` with no inner
+Python loop over samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_array, check_is_fitted, column_or_1d
+
+__all__ = ["DecisionTreeRegressor"]
+
+_UNDEFINED = -2
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    if max_features is None:
+        return n_features
+    if isinstance(max_features, str):
+        if max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        raise ValueError(f"Unknown max_features string {max_features!r}")
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError("float max_features must be in (0, 1]")
+        return max(1, int(max_features * n_features))
+    mf = int(max_features)
+    if not 1 <= mf <= n_features:
+        raise ValueError(f"max_features={mf} out of [1, {n_features}]")
+    return mf
+
+
+class DecisionTreeRegressor:
+    """MSE-criterion CART regression tree.
+
+    Parameters
+    ----------
+    max_depth : int or None
+        Depth limit (root has depth 0). None = grow until pure/min sizes.
+    min_samples_split : int, default 2
+        Minimum node size eligible for splitting.
+    min_samples_leaf : int, default 1
+        Minimum samples in each child.
+    max_features : int, float, 'sqrt', 'log2' or None
+        Features sampled (without replacement) per split.
+    min_impurity_decrease : float, default 0.0
+        Minimum weighted impurity decrease to accept a split.
+    random_state : seed or Generator
+        Controls feature subsampling.
+
+    Attributes
+    ----------
+    feature_importances_ : (d,) array
+        Impurity-decrease importances, normalised to sum to 1.
+    n_nodes_ : int
+    max_depth_ : int
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        min_impurity_decrease: float = 0.0,
+        random_state=None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeRegressor":
+        X = check_array(X, name="X")
+        y = column_or_1d(np.asarray(y, dtype=np.float64), name="y")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if sample_weight is not None:
+            raise NotImplementedError("sample_weight is not supported")
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+
+        n, d = X.shape
+        rng = check_random_state(self.random_state)
+        m_try = _resolve_max_features(self.max_features, d)
+        max_depth = np.inf if self.max_depth is None else self.max_depth
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        n_node: list[int] = []
+        importances = np.zeros(d, dtype=np.float64)
+
+        def new_node(idx: np.ndarray) -> int:
+            node = len(feature)
+            feature.append(_UNDEFINED)
+            threshold.append(np.nan)
+            left.append(-1)
+            right.append(-1)
+            value.append(float(y[idx].mean()))
+            n_node.append(idx.size)
+            return node
+
+        root_idx = np.arange(n)
+        stack: list[tuple[np.ndarray, int, int]] = [(root_idx, 0, new_node(root_idx))]
+        depth_seen = 0
+
+        while stack:
+            idx, depth, node = stack.pop()
+            depth_seen = max(depth_seen, depth)
+            n_i = idx.size
+            y_i = y[idx]
+            node_var = y_i.var()
+            if (
+                depth >= max_depth
+                or n_i < self.min_samples_split
+                or n_i < 2 * self.min_samples_leaf
+                or node_var <= 1e-15
+            ):
+                continue
+
+            feats = (
+                rng.choice(d, size=m_try, replace=False) if m_try < d else np.arange(d)
+            )
+            best_gain, best_f, best_pos, best_order = -np.inf, -1, -1, None
+            sum_total = y_i.sum()
+            for f in feats:
+                order = np.argsort(X[idx, f], kind="mergesort")
+                xs = X[idx[order], f]
+                ys = y_i[order]
+                # Candidate split after position i (left gets [0..i]).
+                csum = np.cumsum(ys)[:-1]
+                n_left = np.arange(1, n_i)
+                n_right = n_i - n_left
+                # Weighted variance reduction simplifies to maximising
+                # sum_l^2 / n_l + sum_r^2 / n_r (the "proxy" criterion).
+                proxy = csum**2 / n_left + (sum_total - csum) ** 2 / n_right
+                valid = xs[1:] > xs[:-1]  # no split between equal values
+                if self.min_samples_leaf > 1:
+                    msl = self.min_samples_leaf
+                    valid &= (n_left >= msl) & (n_right >= msl)
+                if not valid.any():
+                    continue
+                proxy = np.where(valid, proxy, -np.inf)
+                pos = int(np.argmax(proxy))
+                if proxy[pos] > best_gain:
+                    best_gain, best_f, best_pos, best_order = proxy[pos], int(f), pos, order
+
+            if best_f < 0:
+                continue
+
+            # Convert proxy back to true weighted impurity decrease.
+            sum_left = y_i[best_order][: best_pos + 1].sum()
+            n_l = best_pos + 1
+            n_r = n_i - n_l
+            child_sse = (
+                (y_i**2).sum()
+                - sum_left**2 / n_l
+                - (sum_total - sum_left) ** 2 / n_r
+            )
+            decrease = (n_i * node_var - child_sse) / n
+            if decrease < self.min_impurity_decrease - 1e-15:
+                continue
+
+            xs = X[idx[best_order], best_f]
+            thr = 0.5 * (xs[best_pos] + xs[best_pos + 1])
+            left_idx = idx[best_order][: best_pos + 1]
+            right_idx = idx[best_order][best_pos + 1 :]
+
+            feature[node] = best_f
+            threshold[node] = float(thr)
+            importances[best_f] += decrease
+            l_node = new_node(left_idx)
+            r_node = new_node(right_idx)
+            left[node], right[node] = l_node, r_node
+            stack.append((left_idx, depth + 1, l_node))
+            stack.append((right_idx, depth + 1, r_node))
+
+        self.feature_ = np.array(feature, dtype=np.int64)
+        self.threshold_ = np.array(threshold, dtype=np.float64)
+        self.children_left_ = np.array(left, dtype=np.int64)
+        self.children_right_ = np.array(right, dtype=np.int64)
+        self.value_ = np.array(value, dtype=np.float64)
+        self.n_node_samples_ = np.array(n_node, dtype=np.int64)
+        self.n_nodes_ = len(feature)
+        self.n_features_in_ = d
+        self.max_depth_ = depth_seen
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def apply(self, X) -> np.ndarray:
+        """Leaf index reached by each sample (vectorised traversal)."""
+        check_is_fitted(self, "feature_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        node_of = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature_[node_of] != _UNDEFINED
+        while active.any():
+            rows = np.nonzero(active)[0]
+            nodes = node_of[rows]
+            f = self.feature_[nodes]
+            go_left = X[rows, f] <= self.threshold_[nodes]
+            node_of[rows] = np.where(
+                go_left, self.children_left_[nodes], self.children_right_[nodes]
+            )
+            active[rows] = self.feature_[node_of[rows]] != _UNDEFINED
+        return node_of
+
+    def predict(self, X) -> np.ndarray:
+        """Mean training target of the leaf each sample lands in."""
+        leaves = self.apply(X)  # also performs the fitted check
+        return self.value_[leaves]
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R^2."""
+        y = column_or_1d(np.asarray(y, dtype=np.float64))
+        pred = self.predict(X)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0

@@ -1,0 +1,34 @@
+"""Shared low-level utilities: validation, RNG handling, distance kernels.
+
+These helpers replace the small slice of scikit-learn's ``utils`` that the
+rest of the library depends on, so the project has no dependency beyond
+NumPy/SciPy.
+"""
+
+from repro.utils.validation import (
+    check_array,
+    check_consistent_length,
+    check_is_fitted,
+    column_or_1d,
+)
+from repro.utils.random import check_random_state, spawn_seeds
+from repro.utils.scaling import StandardScaler, MinMaxScaler
+from repro.utils.distances import (
+    pairwise_distances,
+    pairwise_distances_chunked,
+    cdist_to_self_excluded,
+)
+
+__all__ = [
+    "check_array",
+    "check_consistent_length",
+    "check_is_fitted",
+    "column_or_1d",
+    "check_random_state",
+    "spawn_seeds",
+    "StandardScaler",
+    "MinMaxScaler",
+    "pairwise_distances",
+    "pairwise_distances_chunked",
+    "cdist_to_self_excluded",
+]

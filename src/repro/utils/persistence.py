@@ -1,0 +1,58 @@
+"""Model persistence: save/load fitted estimators.
+
+Deployment use (§4.5): a SUOD system is fitted offline and reused to
+score claim batches for months. Pickle suffices because all estimator
+state is plain Python + NumPy; the helpers add versioning and an
+integrity check so silent library-version drift fails loudly instead of
+producing subtly wrong scores.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+__all__ = ["save_model", "load_model"]
+
+_MAGIC = "repro-model"
+_FORMAT_VERSION = 1
+
+
+def save_model(model, path) -> Path:
+    """Serialise a (fitted or unfitted) estimator to ``path``.
+
+    The payload records the library version so loads can warn/raise on
+    incompatible formats.
+    """
+    import repro
+
+    path = Path(path)
+    payload = {
+        "magic": _MAGIC,
+        "format_version": _FORMAT_VERSION,
+        "library_version": repro.__version__,
+        "model": model,
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_model(path):
+    """Load an estimator saved with :func:`save_model`.
+
+    Raises ``ValueError`` for foreign pickles or future format versions
+    (forward compatibility is not promised; backward is).
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise ValueError(f"{path} is not a repro model file")
+    version = payload.get("format_version")
+    if not isinstance(version, int) or version > _FORMAT_VERSION:
+        raise ValueError(
+            f"{path} uses format version {version}; this library reads "
+            f"<= {_FORMAT_VERSION}"
+        )
+    return payload["model"]

@@ -1,0 +1,50 @@
+"""Random-state plumbing shared by every stochastic component.
+
+The library follows the scikit-learn convention: every estimator accepts a
+``random_state`` argument that may be ``None``, an int seed, or a
+``numpy.random.Generator`` / legacy ``RandomState``. Internally we
+normalise everything to :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = ["check_random_state", "spawn_seeds"]
+
+_MAX_SEED = 2**32 - 1
+
+
+def check_random_state(random_state) -> np.random.Generator:
+    """Normalise ``random_state`` to a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, an existing
+    ``Generator`` (returned as-is), or a legacy ``RandomState`` (wrapped).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, numbers.Integral):
+        return np.random.default_rng(int(random_state))
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, np.random.RandomState):
+        # Derive a Generator deterministically from the legacy state.
+        seed = random_state.randint(0, _MAX_SEED)
+        return np.random.default_rng(seed)
+    raise ValueError(
+        f"random_state must be None, an int, a numpy Generator or "
+        f"RandomState; got {type(random_state)}"
+    )
+
+
+def spawn_seeds(random_state, n: int) -> list[int]:
+    """Draw ``n`` independent 32-bit child seeds from ``random_state``.
+
+    Used to hand deterministic, decorrelated seeds to ensemble members and
+    worker processes (a ``Generator`` itself does not pickle cheaply across
+    process boundaries).
+    """
+    rng = check_random_state(random_state)
+    return [int(s) for s in rng.integers(0, _MAX_SEED, size=n)]

@@ -1,0 +1,90 @@
+"""Feature scaling transformers (fit-on-train, apply-to-test).
+
+Proximity detectors are scale-sensitive; real deployments (and the
+claims example) standardise features before detection. Both scalers
+follow the projector/estimator convention: statistics are learned on the
+training set and reused for new-coming samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_is_fitted
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance standardisation (constant columns -> 0)."""
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X, name="X")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "mean_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted on "
+                f"{self.n_features_in_}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "mean_")
+        X = check_array(X, name="X")
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Rescale features to ``[feature_min, feature_max]`` (default [0, 1]).
+
+    Out-of-range test values extrapolate linearly (no clipping), so the
+    transform stays invertible.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        lo, hi = feature_range
+        if lo >= hi:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.feature_range = (float(lo), float(hi))
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_array(X, name="X")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0.0] = 1.0
+        lo, hi = self.feature_range
+        self.scale_ = (hi - lo) / span
+        self.min_ = lo - self.data_min_ * self.scale_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted on "
+                f"{self.n_features_in_}"
+            )
+        return X * self.scale_ + self.min_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X, name="X")
+        return (X - self.min_) / self.scale_

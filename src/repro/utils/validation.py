@@ -1,0 +1,172 @@
+"""Input validation helpers modelled after scikit-learn's ``check_array``.
+
+Every estimator in the library funnels raw user input through these
+functions, so error behaviour (shape, dtype, NaN handling) is uniform
+across detectors, projectors, and regressors.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = [
+    "check_array",
+    "check_consistent_length",
+    "check_is_fitted",
+    "column_or_1d",
+    "check_scalar",
+]
+
+
+def check_array(
+    X,
+    *,
+    dtype=np.float64,
+    ensure_2d: bool = True,
+    allow_nd: bool = False,
+    ensure_min_samples: int = 1,
+    ensure_min_features: int = 1,
+    force_finite: bool = True,
+    copy: bool = False,
+    name: str = "X",
+) -> np.ndarray:
+    """Validate and convert ``X`` to a well-formed ndarray.
+
+    Parameters
+    ----------
+    X : array-like
+        Input to validate.
+    dtype : numpy dtype, default float64
+        Target dtype. ``None`` preserves the input dtype.
+    ensure_2d : bool
+        If True, a 1-D input raises instead of being promoted.
+    allow_nd : bool
+        Allow ndim > 2.
+    ensure_min_samples, ensure_min_features : int
+        Minimum required shape along each axis (2-D inputs only).
+    force_finite : bool
+        Reject NaN / inf values.
+    copy : bool
+        Force a copy even when no conversion is needed.
+    name : str
+        Name used in error messages.
+
+    Returns
+    -------
+    ndarray
+        Validated array.
+    """
+    arr = np.array(X, dtype=dtype, copy=copy) if copy else np.asarray(X, dtype=dtype)
+
+    if arr.ndim == 0:
+        raise ValueError(f"{name} must be array-like, got a scalar: {X!r}")
+    if arr.ndim == 1 and ensure_2d:
+        raise ValueError(
+            f"{name} must be 2-dimensional, got shape {arr.shape}. "
+            "Reshape with X.reshape(-1, 1) for a single feature or "
+            "X.reshape(1, -1) for a single sample."
+        )
+    if arr.ndim > 2 and not allow_nd:
+        raise ValueError(f"{name} must be at most 2-dimensional, got shape {arr.shape}")
+
+    if force_finite and arr.dtype.kind == "f" and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinity.")
+
+    if arr.ndim == 2:
+        n_samples, n_features = arr.shape
+        if n_samples < ensure_min_samples:
+            raise ValueError(
+                f"{name} has {n_samples} sample(s) but a minimum of "
+                f"{ensure_min_samples} is required."
+            )
+        if n_features < ensure_min_features:
+            raise ValueError(
+                f"{name} has {n_features} feature(s) but a minimum of "
+                f"{ensure_min_features} is required."
+            )
+    elif arr.ndim == 1 and arr.shape[0] < ensure_min_samples:
+        raise ValueError(
+            f"{name} has {arr.shape[0]} sample(s) but a minimum of "
+            f"{ensure_min_samples} is required."
+        )
+    return arr
+
+
+def check_consistent_length(*arrays) -> None:
+    """Raise if the given arrays do not share the same first dimension."""
+    lengths = [len(a) for a in arrays if a is not None]
+    if len(set(lengths)) > 1:
+        raise ValueError(f"Inconsistent sample counts: {lengths}")
+
+
+def check_is_fitted(estimator, attributes=None) -> None:
+    """Raise ``NotFittedError`` unless the estimator carries fitted state.
+
+    Follows the scikit-learn convention: fitted attributes end with an
+    underscore. ``attributes`` may name specific attributes to check.
+    """
+    if attributes is None:
+        fitted = [
+            a
+            for a in vars(estimator)
+            if a.endswith("_") and not a.startswith("__")
+        ]
+        if fitted:
+            return
+    else:
+        if isinstance(attributes, str):
+            attributes = [attributes]
+        if all(hasattr(estimator, a) for a in attributes):
+            return
+    raise NotFittedError(
+        f"This {type(estimator).__name__} instance is not fitted yet. "
+        "Call 'fit' before using this estimator."
+    )
+
+
+class NotFittedError(ValueError, AttributeError):
+    """Raised when an estimator is used before ``fit``."""
+
+
+def column_or_1d(y, *, name: str = "y") -> np.ndarray:
+    """Ravel a column vector or 1-D array; reject anything wider."""
+    y = np.asarray(y)
+    if y.ndim == 1:
+        return y
+    if y.ndim == 2 and y.shape[1] == 1:
+        return y.ravel()
+    raise ValueError(f"{name} must be 1-dimensional, got shape {y.shape}")
+
+
+def check_scalar(
+    value,
+    name: str,
+    *,
+    target_type=numbers.Real,
+    min_val=None,
+    max_val=None,
+    include_boundaries: str = "both",
+):
+    """Validate a scalar hyperparameter and return it.
+
+    ``include_boundaries`` is one of ``"both"``, ``"left"``, ``"right"``,
+    ``"neither"``.
+    """
+    if isinstance(value, bool) and target_type is not bool:
+        raise TypeError(f"{name} must be {target_type}, got bool")
+    if not isinstance(value, target_type):
+        raise TypeError(f"{name} must be an instance of {target_type}, got {type(value)}")
+
+    left_ok = {"both": np.greater_equal, "left": np.greater_equal,
+               "right": np.greater, "neither": np.greater}
+    right_ok = {"both": np.less_equal, "right": np.less_equal,
+                "left": np.less, "neither": np.less}
+    if include_boundaries not in left_ok:
+        raise ValueError(f"Unknown boundary spec: {include_boundaries!r}")
+    if min_val is not None and not left_ok[include_boundaries](value, min_val):
+        raise ValueError(f"{name} == {value}, must be >= {min_val} ({include_boundaries})")
+    if max_val is not None and not right_ok[include_boundaries](value, max_val):
+        raise ValueError(f"{name} == {value}, must be <= {max_val} ({include_boundaries})")
+    return value

@@ -1,0 +1,45 @@
+import csv
+import json
+
+from repro.bench.export import rows_to_csv, rows_to_json
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 2, "b": 3.5, "c": "x"}]
+        p = rows_to_csv(rows, tmp_path / "out.csv")
+        with open(p) as fh:
+            back = list(csv.DictReader(fh))
+        assert back[0]["a"] == "1"
+        assert back[1]["c"] == "x"
+        assert back[0]["c"] == ""  # missing cell blank
+
+    def test_empty(self, tmp_path):
+        p = rows_to_csv([], tmp_path / "empty.csv")
+        assert p.read_text() == ""
+
+    def test_column_order_first_seen(self, tmp_path):
+        rows = [{"z": 1, "a": 2}, {"a": 3, "m": 4}]
+        p = rows_to_csv(rows, tmp_path / "o.csv")
+        header = p.read_text().splitlines()[0]
+        assert header == "z,a,m"
+
+
+class TestJSON:
+    def test_roundtrip_with_meta(self, tmp_path):
+        rows = [{"x": 1.5}]
+        p = rows_to_json(rows, tmp_path / "o.json", meta={"config": "s=1"})
+        payload = json.loads(p.read_text())
+        assert payload["rows"] == [{"x": 1.5}]
+        assert payload["meta"]["config"] == "s=1"
+
+    def test_unserialisable_meta_dropped(self, tmp_path):
+        p = rows_to_json([], tmp_path / "o.json", meta={"fn": print, "ok": 1})
+        payload = json.loads(p.read_text())
+        assert "fn" not in payload["meta"] and payload["meta"]["ok"] == 1
+
+    def test_numpy_values_coerced(self, tmp_path):
+        import numpy as np
+
+        p = rows_to_json([{"v": np.float64(2.0)}], tmp_path / "o.json")
+        assert json.loads(p.read_text())["rows"][0]["v"] == 2.0

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    X = np.vstack([c + rng.standard_normal((40, 2)) for c in centers])
+    return X, centers
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, blobs):
+        X, centers = blobs
+        km = KMeans(3, random_state=0).fit(X)
+        # Each true center should have a fitted center within 1.0.
+        for c in centers:
+            assert np.linalg.norm(km.cluster_centers_ - c, axis=1).min() < 1.0
+
+    def test_labels_match_nearest_center(self, blobs):
+        X, _ = blobs
+        km = KMeans(3, random_state=0).fit(X)
+        np.testing.assert_array_equal(km.labels_, km.predict(X))
+
+    def test_inertia_decreases_with_k(self, blobs):
+        X, _ = blobs
+        i2 = KMeans(2, random_state=0).fit(X).inertia_
+        i5 = KMeans(5, random_state=0).fit(X).inertia_
+        assert i5 < i2
+
+    def test_deterministic_with_seed(self, blobs):
+        X, _ = blobs
+        a = KMeans(3, random_state=3).fit(X)
+        b = KMeans(3, random_state=3).fit(X)
+        np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_transform_shape_and_values(self, blobs):
+        X, _ = blobs
+        km = KMeans(3, random_state=0).fit(X)
+        D = km.transform(X[:5])
+        assert D.shape == (5, 3)
+        np.testing.assert_array_equal(np.argmin(D, axis=1), km.predict(X[:5]))
+
+    def test_k_equals_n(self, rng):
+        X = rng.standard_normal((6, 2))
+        km = KMeans(6, n_init=1, random_state=0).fit(X)
+        assert km.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+    def test_k1(self, blobs):
+        X, _ = blobs
+        km = KMeans(1, random_state=0).fit(X)
+        np.testing.assert_allclose(km.cluster_centers_[0], X.mean(axis=0))
+
+    def test_duplicate_points(self):
+        X = np.ones((30, 2))
+        km = KMeans(3, n_init=1, random_state=0).fit(X)
+        assert km.inertia_ == pytest.approx(0.0)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(0).fit(rng.random((5, 2)))
+        with pytest.raises(ValueError):
+            KMeans(6).fit(rng.random((5, 2)))
+
+    def test_all_points_assigned(self, blobs):
+        X, _ = blobs
+        km = KMeans(3, random_state=0).fit(X)
+        assert km.labels_.shape == (X.shape[0],)
+        assert set(np.unique(km.labels_)) <= {0, 1, 2}

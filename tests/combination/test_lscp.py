@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.combination import LSCP
+from repro.detectors import HBOS, KNN, LOF
+from repro.metrics import roc_auc_score
+
+
+@pytest.fixture(scope="module")
+def setting():
+    from repro.data import make_outlier_dataset, train_test_split
+
+    X, y = make_outlier_dataset(400, 6, contamination=0.1, random_state=3)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=0)
+    detectors = [KNN(n_neighbors=10), LOF(n_neighbors=15), HBOS()]
+    train_scores = np.stack([d.fit(Xtr).decision_scores_ for d in detectors])
+    test_scores = np.stack([d.decision_function(Xte) for d in detectors])
+    return Xtr, Xte, yte, train_scores, test_scores
+
+
+class TestLSCP:
+    def test_combines_to_vector(self, setting):
+        Xtr, Xte, yte, S, T = setting
+        lscp = LSCP(n_neighbors=10).fit(Xtr, S)
+        out = lscp.combine(Xte, T)
+        assert out.shape == (Xte.shape[0],)
+        assert np.isfinite(out).all()
+
+    def test_detection_quality(self, setting):
+        Xtr, Xte, yte, S, T = setting
+        lscp = LSCP(n_neighbors=15, n_select=2).fit(Xtr, S)
+        auc = roc_auc_score(yte, lscp.combine(Xte, T))
+        assert auc > 0.8
+
+    def test_selects_valid_model_indices(self, setting):
+        Xtr, Xte, yte, S, T = setting
+        lscp = LSCP(n_neighbors=10, n_select=2).fit(Xtr, S)
+        sel = lscp.selected_models(Xte)
+        assert sel.shape == (Xte.shape[0], 2)
+        assert sel.min() >= 0 and sel.max() < S.shape[0]
+
+    def test_single_select_picks_one_models_scores(self, setting):
+        Xtr, Xte, yte, S, T = setting
+        lscp = LSCP(n_neighbors=10, n_select=1).fit(Xtr, S)
+        out = lscp.combine(Xte, T)
+        from repro.combination import zscore_standardise
+
+        Tz = zscore_standardise(T)
+        sel = lscp.selected_models(Xte)[:, 0]
+        np.testing.assert_allclose(out, Tz[sel, np.arange(Xte.shape[0])])
+
+    def test_selection_is_local(self, setting):
+        # Different test points may pick different models.
+        Xtr, Xte, yte, S, T = setting
+        sel = LSCP(n_neighbors=10).fit(Xtr, S).selected_models(Xte)[:, 0]
+        assert np.unique(sel).size >= 2
+
+    def test_validation(self, setting):
+        Xtr, Xte, yte, S, T = setting
+        with pytest.raises(ValueError):
+            LSCP(n_neighbors=1)
+        with pytest.raises(ValueError):
+            LSCP(n_select=0)
+        with pytest.raises(ValueError):
+            LSCP(n_select=10).fit(Xtr, S)  # more than models
+        with pytest.raises(ValueError):
+            LSCP().fit(Xtr, S[:, :10])  # misaligned
+        lscp = LSCP().fit(Xtr, S)
+        with pytest.raises(ValueError):
+            lscp.combine(Xte, T[:, :5])
+
+    def test_integrates_with_suod(self, setting):
+        from repro import SUOD
+        from repro.detectors import KNN as K
+
+        Xtr, Xte, yte, *_ = setting
+        clf = SUOD(
+            [K(n_neighbors=5), K(n_neighbors=15), HBOS()], random_state=0
+        ).fit(Xtr)
+        lscp = LSCP(n_neighbors=10).fit(Xtr, clf.train_score_matrix_)
+        out = lscp.combine(Xte, clf.decision_function_matrix(Xte))
+        assert np.isfinite(out).all()

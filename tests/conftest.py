@@ -1,0 +1,35 @@
+"""Shared fixtures: small reproducible datasets and detector pools."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_outlier_dataset, train_test_split
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """(X, y): 300 samples, 8 features, 10% outliers."""
+    return make_outlier_dataset(
+        n_samples=300, n_features=8, contamination=0.1, random_state=42
+    )
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset):
+    """(X_train, X_test, y_train, y_test) 60/40 split."""
+    X, y = small_dataset
+    return train_test_split(X, y, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_X():
+    """Unlabeled 60x5 Gaussian blob with a few planted outliers."""
+    rng = np.random.default_rng(7)
+    X = rng.standard_normal((60, 5))
+    X[:3] += 8.0
+    return X
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.core.approximation import Approximator, fit_approximators
+from repro.detectors import HBOS, KNN, LOF, IsolationForest
+from repro.supervised import Ridge
+from repro.utils.validation import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def fitted(small_dataset_module):
+    X, y = small_dataset_module
+    return X, KNN(n_neighbors=5).fit(X)
+
+
+@pytest.fixture(scope="module")
+def small_dataset_module():
+    from repro.data import make_outlier_dataset
+
+    return make_outlier_dataset(300, 8, contamination=0.1, random_state=42)
+
+
+class TestApproximator:
+    def test_requires_fitted_detector(self):
+        with pytest.raises(NotFittedError):
+            Approximator(KNN())
+
+    def test_passthrough_when_disabled(self, fitted):
+        X, det = fitted
+        a = Approximator(det, enabled=False).fit(X)
+        assert not a.approximated
+        np.testing.assert_allclose(
+            a.decision_function(X[:10]), det.decision_function(X[:10])
+        )
+
+    def test_approximation_trains_regressor(self, fitted):
+        X, det = fitted
+        a = Approximator(det).fit(X)
+        assert a.approximated
+        s = a.decision_function(X[:20])
+        assert s.shape == (20,)
+
+    def test_approximation_tracks_pseudo_truth(self, fitted):
+        X, det = fitted
+        a = Approximator(det).fit(X)
+        pred = a.decision_function(X)
+        truth = det.decision_scores_
+        corr = np.corrcoef(pred, truth)[0, 1]
+        assert corr > 0.9
+
+    def test_custom_regressor_cloned(self, fitted):
+        X, det = fitted
+        proto = Ridge(alpha=1.0)
+        a = Approximator(det, proto).fit(X)
+        assert a.regressor_ is not proto
+        assert isinstance(a.regressor_, Ridge)
+
+    def test_misaligned_train_rejected(self, fitted):
+        X, det = fitted
+        with pytest.raises(ValueError, match="aligned"):
+            Approximator(det).fit(X[:50])
+
+    def test_repr(self, fitted):
+        X, det = fitted
+        a = Approximator(det).fit(X)
+        assert "approximated" in repr(a)
+
+
+class TestFitApproximators:
+    def test_costly_rule_default(self, small_dataset_module):
+        X, _ = small_dataset_module
+        dets = [
+            KNN(n_neighbors=5).fit(X),
+            HBOS().fit(X),
+            LOF(n_neighbors=5).fit(X),
+            IsolationForest(n_estimators=10, random_state=0).fit(X),
+        ]
+        approx = fit_approximators(dets, X)
+        assert [a.approximated for a in approx] == [True, False, True, False]
+
+    def test_explicit_flags_override(self, small_dataset_module):
+        X, _ = small_dataset_module
+        dets = [KNN(n_neighbors=5).fit(X), HBOS().fit(X)]
+        approx = fit_approximators(dets, X, approx_flags=[False, True])
+        assert [a.approximated for a in approx] == [False, True]
+
+    def test_per_model_spaces(self, small_dataset_module):
+        X, _ = small_dataset_module
+        X2 = X[:, :4]
+        dets = [KNN(n_neighbors=5).fit(X), KNN(n_neighbors=5).fit(X2)]
+        approx = fit_approximators(dets, [X, X2])
+        # Each regressor must accept its own space's width.
+        assert approx[0].decision_function(X[:3]).shape == (3,)
+        assert approx[1].decision_function(X2[:3]).shape == (3,)
+
+    def test_alignment_errors(self, small_dataset_module):
+        X, _ = small_dataset_module
+        dets = [KNN(n_neighbors=5).fit(X)]
+        with pytest.raises(ValueError):
+            fit_approximators(dets, [X, X])
+        with pytest.raises(ValueError):
+            fit_approximators(dets, X, approx_flags=[True, False])

@@ -1,0 +1,161 @@
+import numpy as np
+import pytest
+
+from repro.core.scheduling import (
+    bps_schedule,
+    discounted_ranks,
+    generic_schedule,
+    karmarkar_karp_partition,
+    lpt_partition,
+    shuffle_schedule,
+)
+from repro.metrics import makespan, rank_sum_deviation
+
+
+class TestGenericSchedule:
+    def test_contiguous_blocks(self):
+        a = generic_schedule(10, 2)
+        np.testing.assert_array_equal(a, [0] * 5 + [1] * 5)
+
+    def test_uneven_split(self):
+        a = generic_schedule(7, 3)
+        counts = np.bincount(a, minlength=3)
+        assert counts.tolist() == [3, 2, 2]
+        assert (np.diff(a) >= 0).all()  # by order
+
+    def test_more_workers_than_models(self):
+        a = generic_schedule(2, 5)
+        assert set(a) <= set(range(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generic_schedule(-1, 2)
+        with pytest.raises(ValueError):
+            generic_schedule(3, 0)
+
+
+class TestShuffleSchedule:
+    def test_every_model_assigned_once(self):
+        a = shuffle_schedule(20, 4, random_state=0)
+        assert a.shape == (20,)
+        counts = np.bincount(a, minlength=4)
+        assert counts.sum() == 20
+        assert counts.max() - counts.min() <= 1
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            shuffle_schedule(15, 3, random_state=5),
+            shuffle_schedule(15, 3, random_state=5),
+        )
+
+
+class TestDiscountedRanks:
+    def test_range(self):
+        w = discounted_ranks([5.0, 1.0, 3.0], alpha=1.0)
+        # ranks 3,1,2 -> 1 + rank/3
+        np.testing.assert_allclose(w, [2.0, 4.0 / 3.0, 5.0 / 3.0])
+
+    def test_alpha_zero_flattens(self):
+        w = discounted_ranks([9.0, 2.0, 7.0], alpha=0.0)
+        np.testing.assert_allclose(w, 1.0)
+
+    def test_bounded_ratio(self):
+        w = discounted_ranks(np.arange(100.0), alpha=1.0)
+        assert w.max() / w.min() <= 2.0 + 1e-9
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            discounted_ranks([1.0], alpha=-0.5)
+
+    def test_empty(self):
+        assert discounted_ranks([]).size == 0
+
+
+class TestLPT:
+    def test_every_item_assigned(self):
+        w = np.random.default_rng(0).random(30)
+        a = lpt_partition(w, 4)
+        assert a.shape == (30,)
+        assert set(a) <= set(range(4))
+
+    def test_classic_example(self):
+        # LPT on {7,6,5,4,3} with 2 workers -> loads {7+4, 6+5+3} wait:
+        # 7->w0, 6->w1, 5->w1? no: after 7(w0),6(w1): lighter=w1(6)? w1=6<7
+        # 5->w1(11), 4->w0(11), 3-> either (14). makespan 14, optimal 13.
+        a = lpt_partition([7.0, 6.0, 5.0, 4.0, 3.0], 2)
+        assert makespan([7, 6, 5, 4, 3], a, 2) <= 14
+
+    def test_single_worker(self):
+        a = lpt_partition([1.0, 2.0], 1)
+        np.testing.assert_array_equal(a, [0, 0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            lpt_partition([-1.0], 2)
+
+    def test_beats_generic_on_sorted_costs(self):
+        costs = np.concatenate([np.full(25, 10.0), np.full(75, 1.0)])
+        lpt_span = makespan(costs, lpt_partition(costs, 4), 4)
+        gen_span = makespan(costs, generic_schedule(100, 4), 4)
+        assert lpt_span < gen_span
+
+
+class TestKarmarkarKarp:
+    def test_every_item_assigned(self):
+        w = np.random.default_rng(1).random(25)
+        a = karmarkar_karp_partition(w, 3)
+        assert a.shape == (25,)
+        assert np.bincount(a, minlength=3).sum() == 25
+
+    def test_two_way_classic(self):
+        # KK on {8,7,6,5,4} two-way achieves diff 0: {8,7} vs {6,5,4}.
+        w = [8.0, 7.0, 6.0, 5.0, 4.0]
+        a = karmarkar_karp_partition(w, 2)
+        loads = np.bincount(a, weights=w, minlength=2)
+        assert abs(loads[0] - loads[1]) <= 2.0
+
+    def test_at_least_as_good_as_generic(self):
+        rng = np.random.default_rng(2)
+        w = rng.exponential(1.0, 40)
+        kk = makespan(w, karmarkar_karp_partition(w, 4), 4)
+        gen = makespan(w, generic_schedule(40, 4), 4)
+        assert kk <= gen + 1e-9
+
+    def test_single_worker_and_empty(self):
+        np.testing.assert_array_equal(karmarkar_karp_partition([1.0, 2.0], 1), [0, 0])
+        assert karmarkar_karp_partition([], 3).size == 0
+
+
+class TestBPS:
+    def test_reduces_eq2_objective_vs_generic(self):
+        rng = np.random.default_rng(3)
+        costs = rng.exponential(1.0, 60)
+        ranks = np.argsort(np.argsort(costs)) + 1.0
+        bps_dev = rank_sum_deviation(ranks, bps_schedule(costs, 4, alpha=None), 4)
+        gen_dev = rank_sum_deviation(ranks, generic_schedule(60, 4), 4)
+        assert bps_dev <= gen_dev
+
+    def test_rank_based_ignores_cost_scale(self):
+        costs = np.array([1.0, 5.0, 2.0, 9.0, 4.0, 3.0])
+        a1 = bps_schedule(costs, 2)
+        a2 = bps_schedule(costs * 1000.0, 2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_methods_agree_on_assignment_validity(self):
+        costs = np.random.default_rng(4).random(20)
+        for method in ("lpt", "kk"):
+            a = bps_schedule(costs, 3, method=method)
+            assert a.shape == (20,)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            bps_schedule([1.0, 2.0], 2, method="greedy")
+
+    def test_near_equal_rank_sums(self):
+        # The paper's target: every worker's rank sum ~ (m^2+m)/(2t).
+        costs = np.random.default_rng(5).exponential(1.0, 100)
+        a = bps_schedule(costs, 4, alpha=None)
+        ranks = np.argsort(np.argsort(costs)) + 1.0
+        sums = np.bincount(a, weights=ranks, minlength=4)
+        target = (100 * 100 + 100) / 8
+        assert np.abs(sums - target).max() / target < 0.05

@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.core import consensus_competence, trim_pool
+from repro.detectors import HBOS, KNN, LOF, BaseDetector, sample_model_pool
+
+
+class _Noise(BaseDetector):
+    """Detector emitting pure noise — should be trimmed first."""
+
+    def __init__(self, seed: int = 0, contamination: float = 0.1):
+        super().__init__(contamination=contamination)
+        self.seed = seed
+
+    def _fit(self, X):
+        return np.random.default_rng(self.seed).random(X.shape[0])
+
+    def _score(self, X):
+        return np.random.default_rng(self.seed + 1).random(X.shape[0])
+
+
+@pytest.fixture(scope="module")
+def X():
+    from repro.data import make_outlier_dataset
+
+    return make_outlier_dataset(400, 6, contamination=0.1, random_state=1)[0]
+
+
+class TestConsensusCompetence:
+    def test_shape_and_range(self, rng):
+        S = rng.random((5, 100))
+        c = consensus_competence(S)
+        assert c.shape == (5,)
+        assert (np.abs(c) <= 1.0 + 1e-9).all()
+
+    def test_consensus_member_scores_high(self, rng):
+        base = rng.random(200)
+        S = np.stack([base + 0.01 * rng.random(200) for _ in range(4)]
+                     + [rng.random(200)])  # 4 agreeing + 1 noise
+        c = consensus_competence(S)
+        assert c[:4].min() > c[4]
+
+    def test_needs_two_models(self, rng):
+        with pytest.raises(ValueError):
+            consensus_competence(rng.random((1, 50)))
+
+
+class TestTrimPool:
+    def test_keeps_requested_fraction(self, X):
+        pool = sample_model_pool(12, max_n_neighbors=20, random_state=0)
+        kept, idx = trim_pool(pool, X, keep_fraction=0.5, random_state=0)
+        assert len(kept) == 6
+        assert idx.shape == (6,)
+        assert all(kept[i] is pool[idx[i]] for i in range(6))
+
+    def test_noise_models_trimmed(self, X):
+        pool = [KNN(n_neighbors=10), LOF(n_neighbors=10), HBOS(),
+                _Noise(1), _Noise(2), _Noise(3)]
+        kept, idx = trim_pool(pool, X, keep_fraction=0.5, random_state=0)
+        # The three real detectors should survive over the noise ones.
+        assert sum(isinstance(m, _Noise) for m in kept) <= 1
+
+    def test_returns_unfitted_models(self, X):
+        pool = sample_model_pool(6, max_n_neighbors=20, random_state=1)
+        kept, _ = trim_pool(pool, X, keep_fraction=0.5, random_state=0)
+        for m in kept:
+            assert not hasattr(m, "decision_scores_")
+
+    def test_diversity_strategy_runs(self, X):
+        pool = sample_model_pool(10, max_n_neighbors=20, random_state=2)
+        kept, idx = trim_pool(
+            pool, X, keep_fraction=0.4, strategy="diversity", random_state=0
+        )
+        assert len(kept) == 4
+        assert np.unique(idx).size == 4
+
+    def test_subsample_respected(self, X):
+        pool = sample_model_pool(4, max_n_neighbors=20, random_state=3)
+        kept, _ = trim_pool(pool, X, subsample=50, random_state=0)
+        assert kept  # simply runs with a tiny pilot
+
+    def test_validation(self, X):
+        pool = sample_model_pool(4, max_n_neighbors=20, random_state=0)
+        with pytest.raises(ValueError):
+            trim_pool(pool, X, keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            trim_pool(pool, X, strategy="random")
+        with pytest.raises(ValueError):
+            trim_pool(pool[:1], X)
+
+    def test_composes_with_suod(self, X):
+        from repro import SUOD
+
+        pool = sample_model_pool(10, max_n_neighbors=20, random_state=4)
+        kept, _ = trim_pool(pool, X, keep_fraction=0.5, random_state=0)
+        clf = SUOD(kept, random_state=0).fit(X)
+        assert len(clf.base_estimators_) == 5

@@ -1,0 +1,96 @@
+"""SUOD edge paths: verbose logging, repr, prediction scheduling,
+crash propagation through backends, RP target dimension bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro import SUOD
+from repro.detectors import HBOS, KNN, BaseDetector
+
+
+@pytest.fixture(scope="module")
+def X():
+    from repro.data import make_outlier_dataset
+
+    return make_outlier_dataset(250, 9, contamination=0.1, random_state=2)[0]
+
+
+class TestVerboseAndRepr:
+    def test_verbose_logs_modules(self, X, capsys):
+        SUOD([KNN(n_neighbors=5), HBOS()], verbose=True, random_state=0).fit(X)
+        out = capsys.readouterr().out
+        assert "RP:" in out and "PSA:" in out and "fit wall time" in out
+
+    def test_repr_mentions_flags(self):
+        clf = SUOD([HBOS()], n_jobs=3, backend="threads")
+        r = repr(clf)
+        assert "m=1" in r and "n_jobs=3" in r and "threads" in r
+
+
+class TestPredictionScheduling:
+    def test_predict_result_recorded(self, X):
+        clf = SUOD(
+            [KNN(n_neighbors=5), HBOS()],
+            n_jobs=2,
+            backend="simulated",
+            random_state=0,
+        ).fit(X)
+        clf.decision_function(X[:30])
+        assert clf.predict_result_.task_times.shape == (2,)
+        assert clf.predict_result_.wall_time >= 0
+
+    def test_prediction_crash_propagates(self, X):
+        class FitsButCrashesOnPredict(BaseDetector):
+            def _fit(self, Xv):
+                return np.zeros(Xv.shape[0])
+
+            def _score(self, Xv):
+                raise RuntimeError("prediction exploded")
+
+        clf = SUOD(
+            [FitsButCrashesOnPredict()],
+            approx_flag_global=False,
+            rp_flag_global=False,
+            random_state=0,
+        ).fit(X)
+        with pytest.raises(RuntimeError, match="prediction exploded"):
+            clf.decision_function(X[:5])
+
+
+class TestRPBookkeeping:
+    def test_projected_dimension_is_two_thirds(self, X):
+        clf = SUOD([KNN(n_neighbors=5)], random_state=0).fit(X)
+        assert clf.projectors_[0].n_components_ == 6  # 2/3 of 9
+
+    def test_custom_fraction(self, X):
+        clf = SUOD(
+            [KNN(n_neighbors=5)], rp_target_fraction=0.5, random_state=0
+        ).fit(X)
+        assert clf.projectors_[0].n_components_ == 4  # 0.5 * 9 rounded
+
+    def test_jl_family_forwarded(self, X):
+        clf = SUOD([KNN(n_neighbors=5)], rp_method="discrete", random_state=0).fit(X)
+        W = clf.projectors_[0].W_
+        assert set(np.unique(W)) <= {-1.0, 1.0}
+
+    def test_invalid_rp_method_raises_at_fit(self, X):
+        clf = SUOD([KNN(n_neighbors=5)], rp_method="fourier", random_state=0)
+        with pytest.raises(ValueError):
+            clf.fit(X)
+
+
+class TestSeededEstimators:
+    def test_unseeded_stochastic_estimators_get_seeds(self, X):
+        from repro.detectors import IsolationForest
+
+        est = IsolationForest(n_estimators=5)
+        assert est.random_state is None
+        SUOD([est], random_state=0).fit(X)
+        assert est.random_state is not None
+
+    def test_existing_seeds_not_overwritten(self, X):
+        from repro.detectors import IsolationForest
+
+        est = IsolationForest(n_estimators=5, random_state=77)
+        SUOD([est], random_state=0).fit(X)
+        assert est.random_state == 77

@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.data import (
+    TABLE_A1,
+    benchmark_info,
+    benchmark_names,
+    load_benchmark,
+    train_test_split,
+)
+
+
+class TestTableA1:
+    def test_contains_all_22_datasets(self):
+        assert len(TABLE_A1) == 23  # 22 from Table A.1 + Optdigits (Table 5)
+        for name in ("Cardio", "MNIST", "Satellite", "Satimage-2", "HTTP", "Shuttle"):
+            assert name in TABLE_A1
+
+    def test_paper_values_spotcheck(self):
+        assert TABLE_A1["Cardio"] == (1831, 21, 176)
+        assert TABLE_A1["MNIST"] == (7603, 100, 700)
+        assert TABLE_A1["Pendigits"] == (6870, 16, 156)
+        assert TABLE_A1["Arrhythmia"] == (452, 274, 66)
+
+    def test_info(self):
+        info = benchmark_info("Pima")
+        assert info["n"] == 768 and info["d"] == 8
+        assert info["outlier_rate"] == pytest.approx(268 / 768)
+
+    def test_names_sorted(self):
+        names = benchmark_names()
+        assert names == sorted(names)
+
+
+class TestLoadBenchmark:
+    def test_full_scale_shape(self):
+        X, y = load_benchmark("Pima")
+        assert X.shape == (768, 8)
+        assert y.sum() == pytest.approx(268, abs=2)
+
+    def test_scaled_down(self):
+        X, y = load_benchmark("Cardio", scale=0.25)
+        assert X.shape == (458, 21)
+        # outlier *rate* preserved
+        assert y.mean() == pytest.approx(176 / 1831, abs=0.02)
+
+    def test_floor_at_200(self):
+        X, _ = load_benchmark("Cardio", scale=0.01)
+        assert X.shape[0] == 200
+
+    def test_small_dataset_not_padded(self):
+        # Vertebral has 240 points; scale floor must not exceed original n.
+        X, _ = load_benchmark("Vertebral", scale=0.5)
+        assert X.shape[0] <= 240
+
+    def test_reproducible_default_seed(self):
+        a, _ = load_benchmark("Letter", scale=0.3)
+        b, _ = load_benchmark("Letter", scale=0.3)
+        np.testing.assert_allclose(a, b)
+
+    def test_custom_seed_differs(self):
+        a, _ = load_benchmark("Letter", scale=0.3)
+        b, _ = load_benchmark("Letter", scale=0.3, random_state=123)
+        assert not np.allclose(a, b)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="Unknown benchmark"):
+            load_benchmark("KDD99")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_benchmark("Pima", scale=0.0)
+        with pytest.raises(ValueError):
+            load_benchmark("Pima", scale=1.5)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.random((100, 3))
+        y = rng.integers(0, 2, 100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=0)
+        assert Xtr.shape[0] == 60 and Xte.shape[0] == 40
+        assert ytr.shape[0] == 60 and yte.shape[0] == 40
+
+    def test_partition_no_overlap(self, rng):
+        X = np.arange(50, dtype=float).reshape(-1, 1)
+        y = np.zeros(50, dtype=int)
+        Xtr, Xte, *_ = train_test_split(X, y, random_state=1)
+        assert set(Xtr.ravel()) | set(Xte.ravel()) == set(range(50))
+        assert not set(Xtr.ravel()) & set(Xte.ravel())
+
+    def test_alignment_preserved(self, rng):
+        X = rng.random((80, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=2)
+        np.testing.assert_array_equal(ytr, (Xtr[:, 0] > 0.5).astype(int))
+
+    def test_validation(self, rng):
+        X = rng.random((10, 2))
+        y = np.zeros(10)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(X, np.zeros(9))

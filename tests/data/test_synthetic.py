@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.data import make_outlier_dataset
+from repro.detectors import KNN
+from repro.metrics import roc_auc_score
+
+
+class TestMakeOutlierDataset:
+    def test_shapes_and_labels(self):
+        X, y = make_outlier_dataset(500, 7, contamination=0.1, random_state=0)
+        assert X.shape == (500, 7)
+        assert y.shape == (500,)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_contamination_respected(self):
+        X, y = make_outlier_dataset(1000, 5, contamination=0.08, random_state=0)
+        assert y.sum() == 80
+
+    def test_deterministic(self):
+        a = make_outlier_dataset(200, 4, random_state=9)
+        b = make_outlier_dataset(200, 4, random_state=9)
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a, _ = make_outlier_dataset(200, 4, random_state=1)
+        b, _ = make_outlier_dataset(200, 4, random_state=2)
+        assert not np.allclose(a, b)
+
+    @pytest.mark.parametrize("kind", ["global", "cluster", "local", "mixed"])
+    def test_outliers_are_detectable(self, kind):
+        X, y = make_outlier_dataset(
+            600, 6, contamination=0.1, outlier_kind=kind, random_state=0
+        )
+        det = KNN(n_neighbors=10).fit(X)
+        auc = roc_auc_score(y, det.decision_scores_)
+        # local outliers are intentionally hard; others near-trivial.
+        assert auc > (0.6 if kind == "local" else 0.8), f"{kind}: {auc}"
+
+    def test_shuffled(self):
+        _, y = make_outlier_dataset(300, 4, contamination=0.2, random_state=0)
+        # outliers should not all sit at the end after the permutation
+        assert y[:150].sum() > 0 and y[150:].sum() > 0
+
+    def test_single_feature(self):
+        X, y = make_outlier_dataset(100, 1, random_state=0)
+        assert X.shape == (100, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_outlier_dataset(2, 3)
+        with pytest.raises(ValueError):
+            make_outlier_dataset(100, 0)
+        with pytest.raises(ValueError):
+            make_outlier_dataset(100, 3, contamination=0.7)
+        with pytest.raises(ValueError):
+            make_outlier_dataset(100, 3, outlier_kind="adversarial")
+        with pytest.raises(ValueError):
+            make_outlier_dataset(100, 3, n_clusters=0)

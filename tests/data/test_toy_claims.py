@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.data import make_claims_dataset, make_fig3_toy
+from repro.data.claims import CLAIMS_FEATURE_NAMES
+
+
+class TestFig3Toy:
+    def test_paper_composition(self):
+        X, y = make_fig3_toy(random_state=0)
+        assert X.shape == (200, 2)
+        assert y.sum() == 40  # 40 Normal outliers
+        assert (y == 0).sum() == 160  # 160 Uniform inliers
+
+    def test_inliers_inside_box(self):
+        X, y = make_fig3_toy(random_state=0)
+        inl = X[y == 0]
+        assert (np.abs(inl) <= 4.0).all()
+
+    def test_outliers_outside_box_within_plot(self):
+        X, y = make_fig3_toy(random_state=0)
+        out = X[y == 1]
+        assert (np.abs(out).max(axis=1) > 4.0).all()
+        assert (np.abs(out) <= 6.0).all()
+
+    def test_deterministic(self):
+        a, _ = make_fig3_toy(random_state=5)
+        b, _ = make_fig3_toy(random_state=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_fig3_toy(n_inliers=0)
+        with pytest.raises(ValueError):
+            make_fig3_toy(inlier_box=7.0, plot_range=6.0)
+
+
+class TestClaims:
+    def test_shape_35_features(self):
+        X, y = make_claims_dataset(2000, random_state=0)
+        assert X.shape == (2000, 35)
+        assert len(CLAIMS_FEATURE_NAMES) == 35
+
+    def test_fraud_rate_matches_iqvia(self):
+        X, y = make_claims_dataset(10000, random_state=0)
+        assert y.mean() == pytest.approx(0.1538, abs=0.005)
+
+    def test_onehot_blocks_sum_to_one(self):
+        X, _ = make_claims_dataset(500, random_state=0)
+        # brand block: columns 5..17
+        np.testing.assert_allclose(X[:, 5:17].sum(axis=1), 1.0)
+        np.testing.assert_allclose(X[:, 17:23].sum(axis=1), 1.0)  # plans
+        np.testing.assert_allclose(X[:, 23:31].sum(axis=1), 1.0)  # regions
+        np.testing.assert_allclose(X[:, 31:35].sum(axis=1), 1.0)  # pharmacy
+
+    def test_continuous_positive(self):
+        X, _ = make_claims_dataset(500, random_state=0)
+        assert (X[:, :5] > 0).all()
+
+    def test_fraud_is_detectable(self):
+        from repro.detectors import IsolationForest
+        from repro.metrics import roc_auc_score
+
+        X, y = make_claims_dataset(3000, random_state=0)
+        det = IsolationForest(n_estimators=50, random_state=0).fit(X)
+        assert roc_auc_score(y, det.decision_scores_) > 0.6
+
+    def test_deterministic(self):
+        a, _ = make_claims_dataset(300, random_state=4)
+        b, _ = make_claims_dataset(300, random_state=4)
+        np.testing.assert_allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_claims_dataset(5)
+        with pytest.raises(ValueError):
+            make_claims_dataset(100, fraud_rate=0.9)

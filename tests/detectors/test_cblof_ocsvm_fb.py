@@ -1,0 +1,146 @@
+"""Behavioral tests for CBLOF, OCSVM, FeatureBagging, ABOD."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import ABOD, CBLOF, KNN, OCSVM, FeatureBagging
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(9)
+    X = np.vstack(
+        [
+            rng.standard_normal((150, 3)),
+            np.array([8.0, 8.0, 8.0]) + rng.standard_normal((150, 3)),
+        ]
+    )
+    return X
+
+
+class TestCBLOF:
+    def test_far_point_scores_high(self, blobs):
+        det = CBLOF(n_clusters=4, random_state=0).fit(blobs)
+        far = det.decision_function(np.full((1, 3), 40.0))[0]
+        assert far > det.decision_scores_.max()
+
+    def test_large_cluster_rule(self, blobs):
+        det = CBLOF(n_clusters=4, random_state=0).fit(blobs)
+        assert det._large_mask.any()
+
+    def test_score_is_distance_to_nearest_large_center(self, blobs):
+        det = CBLOF(n_clusters=2, random_state=0).fit(blobs)
+        q = np.array([[0.0, 0.0, 0.0]])
+        centers = det._centers[det._large_mask]
+        expected = np.linalg.norm(centers - q, axis=1).min()
+        assert det.decision_function(q)[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_use_weights(self, blobs):
+        a = CBLOF(n_clusters=3, use_weights=True, random_state=0).fit(blobs)
+        b = CBLOF(n_clusters=3, use_weights=False, random_state=0).fit(blobs)
+        assert not np.allclose(a.decision_scores_, b.decision_scores_)
+
+    def test_param_validation(self, blobs):
+        with pytest.raises(ValueError):
+            CBLOF(alpha=0.4).fit(blobs)
+        with pytest.raises(ValueError):
+            CBLOF(beta=1.0).fit(blobs)
+        with pytest.raises(ValueError):
+            CBLOF(n_clusters=0).fit(blobs)
+
+
+class TestOCSVM:
+    def test_boundary_point_scores_higher_than_center(self, rng):
+        X = rng.standard_normal((300, 2))
+        det = OCSVM(nu=0.1, max_iter=5000).fit(X)
+        center = det.decision_function(np.zeros((1, 2)))[0]
+        far = det.decision_function(np.full((1, 2), 6.0))[0]
+        assert far > center
+
+    def test_nu_controls_train_outlier_fraction(self, rng):
+        X = rng.standard_normal((400, 2))
+        det = OCSVM(nu=0.2, max_iter=8000).fit(X)
+        frac = (det.decision_scores_ > 0).mean()
+        # nu upper-bounds the fraction of training points outside the
+        # boundary (f(x) < 0 <=> our score > 0). SMO convergence is
+        # approximate: allow slack.
+        assert frac <= 0.35
+
+    @pytest.mark.parametrize("kernel", ["linear", "poly", "rbf", "sigmoid"])
+    def test_all_kernels_run(self, rng, kernel):
+        X = rng.standard_normal((80, 3))
+        det = OCSVM(kernel=kernel, max_iter=1000).fit(X)
+        assert np.isfinite(det.decision_scores_).all()
+        assert np.isfinite(det.decision_function(X[:5])).all()
+
+    def test_subsampling_cap(self, rng):
+        X = rng.standard_normal((500, 2))
+        det = OCSVM(max_train_samples=100, max_iter=500, random_state=0).fit(X)
+        assert det._sv.shape[0] <= 100
+
+    def test_gamma_scale_on_constant_data(self):
+        X = np.ones((30, 2))
+        det = OCSVM(max_iter=100).fit(X)
+        assert np.isfinite(det.decision_scores_).all()
+
+    def test_param_validation(self, rng):
+        X = rng.random((20, 2))
+        with pytest.raises(ValueError):
+            OCSVM(nu=0.0).fit(X)
+        with pytest.raises(ValueError):
+            OCSVM(kernel="laplace")
+        with pytest.raises(ValueError):
+            OCSVM(gamma=-1.0).fit(X)
+
+    def test_alpha_constraints_hold(self, rng):
+        X = rng.standard_normal((100, 2))
+        det = OCSVM(nu=0.3, max_iter=3000).fit(X)
+        assert det._alpha.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (det._alpha >= 0).all()
+        assert (det._alpha <= 1.0 / (0.3 * 100) + 1e-9).all()
+
+
+class TestFeatureBagging:
+    def test_subsets_within_bounds(self, blobs):
+        det = FeatureBagging(n_estimators=6, random_state=0).fit(blobs)
+        d = blobs.shape[1]
+        for feats in det.feature_subsets_:
+            assert max(1, d // 2) <= feats.size <= max(1, d - 1)
+            assert np.unique(feats).size == feats.size
+
+    def test_custom_base_estimator(self, blobs):
+        det = FeatureBagging(
+            base_estimator=KNN(n_neighbors=4), n_estimators=3, random_state=0
+        ).fit(blobs)
+        from repro.detectors import KNN as KNNCls
+
+        assert all(isinstance(e, KNNCls) for e in det.estimators_)
+
+    def test_combination_methods_differ(self, blobs):
+        avg = FeatureBagging(n_estimators=4, combination="average", random_state=0).fit(blobs)
+        mx = FeatureBagging(n_estimators=4, combination="max", random_state=0).fit(blobs)
+        assert not np.allclose(avg.decision_scores_, mx.decision_scores_)
+
+    def test_deterministic(self, blobs):
+        a = FeatureBagging(n_estimators=3, random_state=2).fit(blobs).decision_scores_
+        b = FeatureBagging(n_estimators=3, random_state=2).fit(blobs).decision_scores_
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_combination(self):
+        with pytest.raises(ValueError):
+            FeatureBagging(combination="median")
+
+
+class TestABOD:
+    def test_far_point_scores_high(self, blobs):
+        det = ABOD(n_neighbors=10).fit(blobs)
+        far = det.decision_function(np.full((1, 3), 60.0))[0]
+        assert far > np.quantile(det.decision_scores_, 0.99)
+
+    def test_scores_nonpositive(self, blobs):
+        det = ABOD(n_neighbors=8).fit(blobs)
+        assert (det.decision_scores_ <= 0).all()
+
+    def test_needs_two_neighbors(self, blobs):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            ABOD(n_neighbors=1).fit(blobs)

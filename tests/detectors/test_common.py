@@ -1,0 +1,142 @@
+"""API-conformance tests run against every detector family."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    ABOD,
+    CBLOF,
+    COPOD,
+    HBOS,
+    KNN,
+    LODA,
+    LOF,
+    AvgKNN,
+    FeatureBagging,
+    IsolationForest,
+    LoOP,
+    MedKNN,
+    OCSVM,
+    PCAD,
+)
+from repro.utils.validation import NotFittedError
+
+# (constructor, kwargs) for a small-data-friendly instance of each family.
+ALL_DETECTORS = [
+    (KNN, {"n_neighbors": 5}),
+    (AvgKNN, {"n_neighbors": 5}),
+    (MedKNN, {"n_neighbors": 5}),
+    (LOF, {"n_neighbors": 5}),
+    (LoOP, {"n_neighbors": 5}),
+    (ABOD, {"n_neighbors": 6}),
+    (HBOS, {}),
+    (IsolationForest, {"n_estimators": 15, "random_state": 0}),
+    (CBLOF, {"n_clusters": 4, "random_state": 0}),
+    (OCSVM, {"max_iter": 1500}),
+    (FeatureBagging, {"n_estimators": 3, "random_state": 0}),
+    (PCAD, {}),
+    (LODA, {"n_projections": 30, "random_state": 0}),
+    (COPOD, {}),
+]
+
+IDS = [cls.__name__ for cls, _ in ALL_DETECTORS]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    X = rng.standard_normal((160, 6))
+    # Planted outliers (10%): individually scattered far points, not a
+    # shifted micro-cluster (a tight cluster of 16 would legitimately
+    # look dense to k=5 proximity detectors like LOF).
+    X[:16] = rng.uniform(-9.0, 9.0, size=(16, 6))
+    X[:16] += np.sign(X[:16]) * 4.0  # push away from the inlier blob
+    y = np.zeros(160, dtype=int)
+    y[:16] = 1
+    return X, y
+
+
+@pytest.mark.parametrize("cls,kwargs", ALL_DETECTORS, ids=IDS)
+class TestDetectorAPI:
+    def test_fit_sets_attributes(self, data, cls, kwargs):
+        X, _ = data
+        det = cls(**kwargs).fit(X)
+        assert det.decision_scores_.shape == (160,)
+        assert np.isfinite(det.decision_scores_).all()
+        assert np.isfinite(det.threshold_)
+        assert set(np.unique(det.labels_)) <= {0, 1}
+
+    def test_contamination_controls_label_count(self, data, cls, kwargs):
+        X, _ = data
+        det = cls(contamination=0.2, **kwargs).fit(X)
+        # Roughly 20% flagged (quantile ties may shift the count slightly).
+        assert 0.05 <= det.labels_.mean() <= 0.35
+
+    def test_decision_function_shape_and_finite(self, data, cls, kwargs):
+        X, _ = data
+        det = cls(**kwargs).fit(X)
+        s = det.decision_function(X[:20])
+        assert s.shape == (20,)
+        assert np.isfinite(s).all()
+
+    def test_predict_binary(self, data, cls, kwargs):
+        X, _ = data
+        det = cls(**kwargs).fit(X)
+        pred = det.predict(X[:30])
+        assert pred.dtype == np.int64
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_predict_consistent_with_threshold(self, data, cls, kwargs):
+        X, _ = data
+        det = cls(**kwargs).fit(X)
+        s = det.decision_function(X[:40])
+        np.testing.assert_array_equal(det.predict(X[:40]), (s > det.threshold_).astype(int))
+
+    def test_detects_planted_outliers(self, data, cls, kwargs):
+        from repro.metrics import roc_auc_score
+
+        X, y = data
+        det = cls(**kwargs).fit(X)
+        auc = roc_auc_score(y, det.decision_scores_)
+        # Planted far outliers are easy; every family must beat chance
+        # clearly. (ABOD/LOF variants reach ~1.0 here.)
+        assert auc > 0.7, f"{cls.__name__} AUC={auc:.3f}"
+
+    def test_unfitted_raises(self, data, cls, kwargs):
+        X, _ = data
+        with pytest.raises(NotFittedError):
+            cls(**kwargs).decision_function(X)
+
+    def test_feature_mismatch_raises(self, data, cls, kwargs):
+        X, _ = data
+        det = cls(**kwargs).fit(X)
+        with pytest.raises(ValueError, match="features"):
+            det.decision_function(X[:, :3])
+
+    def test_rejects_nan(self, data, cls, kwargs):
+        X, _ = data
+        Xbad = X.copy()
+        Xbad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            cls(**kwargs).fit(Xbad)
+
+    def test_invalid_contamination(self, cls, kwargs):
+        with pytest.raises(ValueError):
+            cls(contamination=0.0, **kwargs)
+        with pytest.raises(ValueError):
+            cls(contamination=0.6, **kwargs)
+
+    def test_fit_predict_matches_labels(self, data, cls, kwargs):
+        X, _ = data
+        det = cls(**kwargs)
+        labels = det.fit_predict(X)
+        np.testing.assert_array_equal(labels, det.labels_)
+
+    def test_repr_contains_class_name(self, cls, kwargs):
+        assert cls.__name__ in repr(cls(**kwargs))
+
+    def test_get_params_roundtrip(self, cls, kwargs):
+        det = cls(**kwargs)
+        params = det.get_params()
+        det2 = cls(**{k: v for k, v in params.items()})
+        assert repr(det) == repr(det2)

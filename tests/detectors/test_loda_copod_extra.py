@@ -1,0 +1,57 @@
+"""Additional behavioural coverage for the extension detectors."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import COPOD, LODA
+from repro.metrics import roc_auc_score
+
+
+class TestLODAExtra:
+    def test_sparse_projections(self, rng):
+        X = rng.standard_normal((100, 16))
+        det = LODA(n_projections=25, random_state=0).fit(X)
+        nnz = (det._W != 0).sum(axis=1)
+        assert (nnz == 4).all()  # sqrt(16)
+
+    def test_more_projections_stabilise_scores(self, rng):
+        X = rng.standard_normal((300, 8))
+        X[:30] += 6.0
+        y = np.zeros(300, dtype=int)
+        y[:30] = 1
+        few = [
+            roc_auc_score(y, LODA(n_projections=5, random_state=s).fit(X).decision_scores_)
+            for s in range(5)
+        ]
+        many = [
+            roc_auc_score(y, LODA(n_projections=150, random_state=s).fit(X).decision_scores_)
+            for s in range(5)
+        ]
+        assert np.std(many) <= np.std(few) + 0.02
+
+    def test_out_of_histogram_range_penalised(self, rng):
+        X = rng.standard_normal((200, 4))
+        det = LODA(n_projections=40, random_state=0).fit(X)
+        far = det.decision_function(np.full((1, 4), 50.0))[0]
+        assert far > det.decision_scores_.max()
+
+
+class TestCOPODExtra:
+    def test_score_additive_over_features(self, rng):
+        # With one feature, the score is the max of the three ECDF tails
+        # of that feature; adding an identical feature doubles it.
+        x = rng.standard_normal((150, 1))
+        det1 = COPOD().fit(x)
+        det2 = COPOD().fit(np.hstack([x, x]))
+        q = np.array([[2.0]])
+        q2 = np.array([[2.0, 2.0]])
+        assert det2.decision_function(q2)[0] == pytest.approx(
+            2 * det1.decision_function(q)[0], rel=1e-9
+        )
+
+    def test_monotone_in_tail_depth(self, rng):
+        X = rng.standard_normal((300, 3))
+        det = COPOD().fit(X)
+        mild = det.decision_function(np.full((1, 3), 2.0))[0]
+        extreme = det.decision_function(np.full((1, 3), 10.0))[0]
+        assert extreme >= mild

@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    COSTLY_FAMILIES,
+    FAMILIES,
+    FAST_FAMILIES,
+    HBOS,
+    KNN,
+    TABLE_B1_GRID,
+    AvgKNN,
+    BaseDetector,
+    IsolationForest,
+    LOF,
+    family_index,
+    family_of,
+    is_costly,
+    sample_model_pool,
+)
+
+
+class TestFamilies:
+    def test_partition_complete(self):
+        assert COSTLY_FAMILIES | FAST_FAMILIES == set(FAMILIES)
+        assert not COSTLY_FAMILIES & FAST_FAMILIES
+
+    def test_paper_costly_pool(self):
+        # §3.4: proximity-based algorithms are costly; iForest/HBOS not.
+        for fam in ("KNN", "LOF", "ABOD", "OCSVM", "CBLOF"):
+            assert fam in COSTLY_FAMILIES
+        for fam in ("HBOS", "IsolationForest"):
+            assert fam in FAST_FAMILIES
+
+    def test_family_of_resolves_subclass(self):
+        assert family_of(AvgKNN()) == "AvgKNN"
+        assert family_of(KNN()) == "KNN"
+
+    def test_family_of_unknown(self):
+        class Alien(BaseDetector):
+            def _fit(self, X):
+                return np.zeros(X.shape[0])
+
+            def _score(self, X):
+                return np.zeros(X.shape[0])
+
+        assert family_of(Alien()) == "unknown"
+        assert is_costly(Alien())  # conservative: unknown = costly
+
+    def test_is_costly(self):
+        assert is_costly(LOF())
+        assert not is_costly(HBOS())
+        assert not is_costly(IsolationForest())
+
+    def test_family_index_stable_and_distinct(self):
+        idx = {family_index(cls()) if name not in ("OCSVM",) else None
+               for name, (cls, _) in FAMILIES.items() if name != "OCSVM"}
+        idx.discard(None)
+        assert len(idx) == len(FAMILIES) - 1
+
+
+class TestModelPool:
+    def test_pool_size_and_types(self):
+        pool = sample_model_pool(30, random_state=0)
+        assert len(pool) == 30
+        assert all(isinstance(m, BaseDetector) for m in pool)
+
+    def test_params_come_from_grid(self):
+        pool = sample_model_pool(50, families=["HBOS"], random_state=1)
+        for m in pool:
+            assert m.n_bins in TABLE_B1_GRID["HBOS"]["n_bins"]
+            assert m.tol in TABLE_B1_GRID["HBOS"]["tol"]
+
+    def test_family_restriction(self):
+        pool = sample_model_pool(10, families=["KNN", "LOF"], random_state=0)
+        assert {family_of(m) for m in pool} <= {"KNN", "LOF", "AvgKNN", "MedKNN"}
+
+    def test_max_n_neighbors_clipped(self):
+        pool = sample_model_pool(40, families=["KNN"], max_n_neighbors=7, random_state=0)
+        assert all(m.n_neighbors <= 7 for m in pool)
+
+    def test_deterministic(self):
+        a = sample_model_pool(10, random_state=3)
+        b = sample_model_pool(10, random_state=3)
+        assert [repr(m) for m in a] == [repr(m) for m in b]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="not in Table B.1"):
+            sample_model_pool(3, families=["DeepSVDD"])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            sample_model_pool(0)
+
+    def test_heterogeneous_by_default(self):
+        pool = sample_model_pool(60, random_state=0)
+        assert len({family_of(m) for m in pool}) >= 5

@@ -1,0 +1,59 @@
+"""Consistency between training scores and decision_function on the
+same data, per family semantics.
+
+Memoryless detectors (HBOS, COPOD, PCAD, LODA, IsolationForest) must
+give identical answers; neighbor-based detectors legitimately differ on
+training points (self-exclusion during fit, self-inclusion at query).
+"""
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    COPOD,
+    HBOS,
+    KNN,
+    LODA,
+    LOF,
+    IsolationForest,
+    PCAD,
+)
+
+MEMORYLESS = [
+    (HBOS, {}),
+    (COPOD, {}),
+    (PCAD, {}),
+    (LODA, {"n_projections": 20, "random_state": 0}),
+    (IsolationForest, {"n_estimators": 15, "random_state": 0}),
+]
+
+
+@pytest.fixture(scope="module")
+def X():
+    rng = np.random.default_rng(21)
+    return rng.standard_normal((150, 6))
+
+
+@pytest.mark.parametrize("cls,kwargs", MEMORYLESS, ids=[c.__name__ for c, _ in MEMORYLESS])
+def test_memoryless_scores_match_training(X, cls, kwargs):
+    det = cls(**kwargs).fit(X)
+    np.testing.assert_allclose(
+        det.decision_function(X), det.decision_scores_, rtol=1e-9, atol=1e-9
+    )
+
+
+def test_knn_training_scores_exclude_self(X):
+    det = KNN(n_neighbors=3).fit(X)
+    # Querying training points includes self at distance 0, so the
+    # query-time scores are <= the self-excluded training scores.
+    q = det.decision_function(X)
+    assert (q <= det.decision_scores_ + 1e-12).all()
+    assert (q < det.decision_scores_).any()
+
+
+def test_lof_training_vs_query_differ_but_correlate(X):
+    det = LOF(n_neighbors=10).fit(X)
+    q = det.decision_function(X)
+    assert not np.allclose(q, det.decision_scores_)
+    corr = np.corrcoef(q, det.decision_scores_)[0, 1]
+    assert corr > 0.7

@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.detectors.thresholds import labels_from_scores, threshold_scores
+
+
+@pytest.fixture
+def scores(rng):
+    s = rng.standard_normal(500)
+    s[:10] += 15.0  # clear outliers
+    return s
+
+
+class TestThresholdScores:
+    def test_quantile(self, scores):
+        thr = threshold_scores(scores, method="quantile", contamination=0.02)
+        assert (scores > thr).mean() == pytest.approx(0.02, abs=0.005)
+
+    def test_mad_flags_planted(self, scores):
+        thr = threshold_scores(scores, method="mad", z=3.0)
+        labels = scores > thr
+        assert labels[:10].all()
+        assert labels.mean() < 0.1
+
+    def test_iqr(self, scores):
+        q1, q3 = np.quantile(scores, (0.25, 0.75))
+        assert threshold_scores(scores, method="iqr") == pytest.approx(
+            q3 + 1.5 * (q3 - q1)
+        )
+
+    def test_std(self, scores):
+        thr = threshold_scores(scores, method="std", z=2.0)
+        assert thr == pytest.approx(scores.mean() + 2 * scores.std())
+
+    def test_mad_constant_scores(self):
+        thr = threshold_scores(np.full(20, 3.0), method="mad")
+        assert thr == 3.0
+
+    def test_z_scaling(self, scores):
+        assert threshold_scores(scores, method="mad", z=5.0) > threshold_scores(
+            scores, method="mad", z=2.0
+        )
+
+    def test_validation(self, scores):
+        with pytest.raises(ValueError):
+            threshold_scores(scores, method="otsu")
+        with pytest.raises(ValueError):
+            threshold_scores(scores, method="quantile")  # missing rate
+        with pytest.raises(ValueError):
+            threshold_scores(scores, method="mad", z=0.0)
+        with pytest.raises(ValueError):
+            threshold_scores([1.0])
+        with pytest.raises(ValueError):
+            threshold_scores([np.nan, 1.0])
+
+
+class TestLabels:
+    def test_binary_output(self, scores):
+        labels = labels_from_scores(scores, method="mad")
+        assert set(np.unique(labels)) <= {0, 1}
+        assert labels.dtype == np.int64
+
+    def test_matches_threshold(self, scores):
+        thr = threshold_scores(scores, method="iqr")
+        np.testing.assert_array_equal(
+            labels_from_scores(scores, method="iqr"), (scores > thr).astype(int)
+        )

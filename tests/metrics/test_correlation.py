@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.metrics import kendalltau, pearsonr, spearmanr
+
+
+@pytest.fixture
+def xy(rng):
+    x = rng.standard_normal(40)
+    y = 0.7 * x + 0.3 * rng.standard_normal(40)
+    return x, y
+
+
+class TestPearson:
+    def test_matches_scipy(self, xy):
+        x, y = xy
+        assert pearsonr(x, y) == pytest.approx(st.pearsonr(x, y).statistic)
+
+    def test_perfect(self):
+        x = np.arange(10.0)
+        assert pearsonr(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearsonr(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_zero(self):
+        assert pearsonr(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearsonr([1.0], [2.0])
+
+
+class TestSpearman:
+    def test_matches_scipy(self, xy):
+        x, y = xy
+        assert spearmanr(x, y) == pytest.approx(st.spearmanr(x, y).statistic)
+
+    def test_with_ties_matches_scipy(self, rng):
+        x = rng.integers(0, 5, 30).astype(float)
+        y = rng.integers(0, 5, 30).astype(float)
+        assert spearmanr(x, y) == pytest.approx(st.spearmanr(x, y).statistic)
+
+    def test_monotone_transform_invariance(self, xy):
+        x, y = xy
+        assert spearmanr(x, y) == pytest.approx(spearmanr(np.exp(x), y))
+
+
+class TestKendall:
+    def test_matches_scipy(self, xy):
+        x, y = xy
+        assert kendalltau(x, y) == pytest.approx(st.kendalltau(x, y).statistic)
+
+    def test_with_ties_matches_scipy(self, rng):
+        x = rng.integers(0, 4, 25).astype(float)
+        y = rng.integers(0, 4, 25).astype(float)
+        assert kendalltau(x, y) == pytest.approx(st.kendalltau(x, y).statistic)
+
+    def test_perfect_concordance(self):
+        x = np.arange(10.0)
+        assert kendalltau(x, x**3) == pytest.approx(1.0)

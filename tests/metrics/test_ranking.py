@@ -1,0 +1,117 @@
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    average_precision_score,
+    precision_at_n,
+    rank_scores,
+    roc_auc_score,
+)
+
+
+class TestRocAuc:
+    def test_perfect(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_half(self):
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_matches_pair_counting(self, rng):
+        y = rng.integers(0, 2, 50)
+        y[0], y[1] = 0, 1  # both classes present
+        s = rng.random(50)
+        pos, neg = s[y == 1], s[y == 0]
+        manual = np.mean(
+            [(p > n) + 0.5 * (p == n) for p in pos for n in neg]
+        )
+        assert roc_auc_score(y, s) == pytest.approx(manual)
+
+    def test_tie_handling(self):
+        # one tie across classes contributes 0.5
+        assert roc_auc_score([0, 1, 1], [0.5, 0.5, 0.9]) == pytest.approx(0.75)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="single class"):
+            roc_auc_score([1, 1], [0.1, 0.2])
+
+    def test_nonbinary_raises(self):
+        with pytest.raises(ValueError, match="binary"):
+            roc_auc_score([0, 2], [0.1, 0.2])
+
+    def test_nan_scores_raise(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([0, 1], [np.nan, 1.0])
+
+    def test_invariant_to_monotone_transform(self, rng):
+        y = np.r_[np.zeros(30), np.ones(10)].astype(int)
+        s = rng.random(40)
+        a = roc_auc_score(y, s)
+        b = roc_auc_score(y, np.exp(3 * s))
+        assert a == pytest.approx(b)
+
+
+class TestRankScores:
+    def test_simple(self):
+        np.testing.assert_array_equal(rank_scores([10, 30, 20]), [1, 3, 2])
+
+    def test_midranks_on_ties(self):
+        np.testing.assert_array_equal(rank_scores([1, 1, 2]), [1.5, 1.5, 3])
+
+    def test_all_tied(self):
+        np.testing.assert_array_equal(rank_scores([5, 5, 5, 5]), [2.5] * 4)
+
+
+class TestPrecisionAtN:
+    def test_perfect(self):
+        y = [0, 0, 1, 1]
+        s = [0.1, 0.2, 0.9, 0.8]
+        assert precision_at_n(y, s) == 1.0
+
+    def test_defaults_to_outlier_count(self):
+        y = [0, 0, 0, 1]
+        s = [0.9, 0.1, 0.2, 0.3]  # top-1 is an inlier
+        assert precision_at_n(y, s) == 0.0
+
+    def test_explicit_n(self):
+        y = [0, 0, 1, 1]
+        s = [0.4, 0.3, 0.9, 0.1]
+        assert precision_at_n(y, s, n=1) == 1.0
+        assert precision_at_n(y, s, n=2) == pytest.approx(0.5)
+
+    def test_tie_at_boundary_expected_value(self):
+        # 3 tied scores at the cut with 1 slot left and 1 positive among them.
+        y = [1, 1, 0, 0]
+        s = [0.9, 0.5, 0.5, 0.5]
+        # n=2: one above (hit), 1 slot among 3 tied holding 1 positive.
+        assert precision_at_n(y, s, n=2) == pytest.approx((1 + 1 / 3) / 2)
+
+    def test_n_clipped_to_size(self):
+        assert precision_at_n([0, 1], [0.1, 0.9], n=10) == pytest.approx(0.5)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            precision_at_n([0, 1], [0.1, 0.9], n=0)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision_score([0, 1], [0.1, 0.9]) == 1.0
+
+    def test_worst(self):
+        # positive ranked last among 4: AP = 1/4
+        assert average_precision_score(
+            [1, 0, 0, 0], [0.0, 1.0, 0.9, 0.8]
+        ) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # positives at ranks 1 and 3: AP = (1/1 + 2/3)/2
+        y = [1, 0, 1, 0]
+        s = [0.9, 0.8, 0.7, 0.6]
+        assert average_precision_score(y, s) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(ValueError):
+            average_precision_score([0, 0], [0.1, 0.2])

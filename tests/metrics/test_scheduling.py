@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.metrics import imbalance, makespan, rank_sum_deviation
+
+
+class TestMakespan:
+    def test_basic(self):
+        costs = [3.0, 1.0, 2.0, 2.0]
+        assignment = [0, 0, 1, 1]
+        assert makespan(costs, assignment, 2) == 4.0
+
+    def test_idle_worker_counts_zero(self):
+        assert makespan([1.0], [0], 3) == 1.0
+
+    def test_empty(self):
+        assert makespan([], [], 2) == 0.0
+
+    def test_bad_assignment(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], [5], 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            makespan([1.0, 2.0], [0], 2)
+
+
+class TestImbalance:
+    def test_perfect_balance_zero(self):
+        assert imbalance([2.0, 2.0], [0, 1], 2) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # loads (3, 1): mean 2, max 3 -> 0.5
+        assert imbalance([3.0, 1.0], [0, 1], 2) == pytest.approx(0.5)
+
+    def test_zero_costs(self):
+        assert imbalance([0.0, 0.0], [0, 1], 2) == 0.0
+
+
+class TestRankSumDeviation:
+    def test_perfect_partition_zero(self):
+        # ranks 1..4 on 2 workers, target (16+4)/4 = 5: {1,4} and {2,3}.
+        ranks = [1, 2, 3, 4]
+        assert rank_sum_deviation(ranks, [0, 1, 1, 0], 2) == pytest.approx(0.0)
+
+    def test_worst_partition(self):
+        ranks = [1, 2, 3, 4]
+        # all on worker 0: |10-5| + |0-5| = 10
+        assert rank_sum_deviation(ranks, [0, 0, 0, 0], 2) == pytest.approx(10.0)
+
+    def test_single_worker_always_zero(self):
+        ranks = np.arange(1, 8)
+        assert rank_sum_deviation(ranks, np.zeros(7, dtype=int), 1) == pytest.approx(0.0)

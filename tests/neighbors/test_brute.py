@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.neighbors import brute_force_kneighbors
+
+
+@pytest.fixture
+def index(rng):
+    return rng.standard_normal((50, 4))
+
+
+class TestBruteForce:
+    def test_matches_naive(self, index, rng):
+        Q = rng.standard_normal((12, 4))
+        d, i = brute_force_kneighbors(index, Q, 5)
+        for qi in range(12):
+            all_d = np.linalg.norm(index - Q[qi], axis=1)
+            order = np.argsort(all_d)[:5]
+            np.testing.assert_allclose(d[qi], all_d[order], rtol=1e-9)
+            np.testing.assert_allclose(np.sort(i[qi]), np.sort(order))
+
+    def test_sorted_ascending(self, index, rng):
+        d, _ = brute_force_kneighbors(index, rng.standard_normal((8, 4)), 7)
+        assert (np.diff(d, axis=1) >= -1e-12).all()
+
+    def test_exclude_self(self, index):
+        d, i = brute_force_kneighbors(index, index, 3, exclude_self=True)
+        rows = np.arange(50)[:, None]
+        assert not (i == rows).any()
+        assert (d > 0).all() or True  # distances can be 0 for duplicates
+
+    def test_exclude_self_requires_alignment(self, index, rng):
+        with pytest.raises(ValueError, match="aligned"):
+            brute_force_kneighbors(index, rng.random((3, 4)), 2, exclude_self=True)
+
+    def test_chunking_equivalence(self, index, rng):
+        Q = rng.standard_normal((33, 4))
+        d1, i1 = brute_force_kneighbors(index, Q, 4, chunk_size=7)
+        d2, i2 = brute_force_kneighbors(index, Q, 4, chunk_size=1000)
+        np.testing.assert_allclose(d1, d2)
+        np.testing.assert_array_equal(i1, i2)
+
+    def test_k_bounds(self, index):
+        with pytest.raises(ValueError, match="out of range"):
+            brute_force_kneighbors(index, index[:2], 0)
+        with pytest.raises(ValueError, match="out of range"):
+            brute_force_kneighbors(index, index[:2], 51)
+        with pytest.raises(ValueError, match="out of range"):
+            brute_force_kneighbors(index, index, 50, exclude_self=True)
+
+    def test_k_equals_n(self, index):
+        d, i = brute_force_kneighbors(index, index[:3], 50)
+        assert d.shape == (3, 50)
+        assert set(i[0]) == set(range(50))
+
+    @pytest.mark.parametrize("metric", ["manhattan", "chebyshev"])
+    def test_other_metrics(self, index, rng, metric):
+        from scipy.spatial.distance import cdist
+
+        Q = rng.standard_normal((5, 4))
+        d, i = brute_force_kneighbors(index, Q, 3, metric=metric)
+        ref = cdist(Q, index, metric="cityblock" if metric == "manhattan" else metric)
+        for qi in range(5):
+            np.testing.assert_allclose(d[qi], np.sort(ref[qi])[:3], rtol=1e-9)

@@ -1,0 +1,133 @@
+import functools
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ProcessBackend,
+    SequentialBackend,
+    SimulatedClusterBackend,
+    ThreadBackend,
+    get_backend,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _sleep_return(t, val):
+    time.sleep(t)
+    return val
+
+
+def _boom():
+    raise RuntimeError("task exploded")
+
+
+def make_tasks(values):
+    return [functools.partial(_square, v) for v in values]
+
+
+class TestSequential:
+    def test_results_in_order(self):
+        res = SequentialBackend().execute(make_tasks([1, 2, 3]))
+        assert res.results == [1, 4, 9]
+        assert res.wall_time > 0
+        assert res.task_times.shape == (3,)
+
+    def test_exception_captured_not_raised(self):
+        res = SequentialBackend().execute([_boom, functools.partial(_square, 2)])
+        assert isinstance(res.results[0], RuntimeError)
+        assert res.results[1] == 4
+        assert res.n_failed == 1
+        with pytest.raises(RuntimeError, match="exploded"):
+            res.raise_first_error()
+
+    def test_empty_tasks(self):
+        res = SequentialBackend().execute([])
+        assert res.results == []
+
+
+class TestThreadBackend:
+    def test_results_in_submission_order(self):
+        tasks = make_tasks(range(10))
+        assignment = np.arange(10) % 3
+        res = ThreadBackend(3).execute(tasks, assignment)
+        assert res.results == [v * v for v in range(10)]
+
+    def test_worker_times_populated(self):
+        tasks = [functools.partial(_sleep_return, 0.01, i) for i in range(4)]
+        res = ThreadBackend(2).execute(tasks, [0, 0, 1, 1])
+        assert res.worker_times.shape == (2,)
+        assert (res.worker_times > 0).all()
+
+    def test_bad_assignment(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(2).execute(make_tasks([1]), [5])
+
+    def test_assignment_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(2).execute(make_tasks([1, 2]), [0])
+
+
+class TestProcessBackend:
+    def test_roundtrip(self):
+        tasks = make_tasks([3, 4])
+        res = ProcessBackend(2).execute(tasks, [0, 1])
+        assert res.results == [9, 16]
+
+    def test_exception_captured(self):
+        res = ProcessBackend(2).execute([_boom, functools.partial(_square, 1)], [0, 1])
+        assert isinstance(res.results[0], RuntimeError)
+        assert res.results[1] == 1
+
+
+class TestSimulatedCluster:
+    def test_virtual_makespan_is_max_group_sum(self):
+        costs = [3.0, 1.0, 2.0, 2.0]
+        tasks = make_tasks([0, 0, 0, 0])
+        res = SimulatedClusterBackend(2).execute(
+            tasks, [0, 0, 1, 1], known_costs=costs
+        )
+        assert res.wall_time == 4.0
+        np.testing.assert_allclose(res.worker_times, [4.0, 4.0])
+
+    def test_executes_real_results_without_known_costs(self):
+        res = SimulatedClusterBackend(2).execute(make_tasks([2, 3]), [0, 1])
+        assert res.results == [4, 9]
+        assert res.wall_time >= 0
+
+    def test_balanced_beats_imbalanced(self):
+        costs = np.array([5.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        tasks = make_tasks(np.zeros(6))
+        bad = SimulatedClusterBackend(2).execute(
+            tasks, [0, 0, 0, 1, 1, 1], known_costs=costs
+        )
+        good = SimulatedClusterBackend(2).execute(
+            tasks, [0, 1, 1, 1, 1, 1], known_costs=costs
+        )
+        assert good.wall_time < bad.wall_time
+
+    def test_known_costs_length_check(self):
+        with pytest.raises(ValueError):
+            SimulatedClusterBackend(2).execute(
+                make_tasks([1, 2]), [0, 1], known_costs=[1.0]
+            )
+
+
+class TestGetBackend:
+    def test_names(self):
+        assert isinstance(get_backend("sequential"), SequentialBackend)
+        assert isinstance(get_backend("threads", 2), ThreadBackend)
+        assert isinstance(get_backend("processes", 2), ProcessBackend)
+        assert isinstance(get_backend("simulated", 2), SimulatedClusterBackend)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_backend("mpi")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)

@@ -1,0 +1,72 @@
+"""Hypothesis properties of score unification and combination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.combination import (
+    average,
+    ecdf_standardise,
+    maximization,
+    zscore_standardise,
+)
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+score_matrix = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6), st.integers(2, 40)),
+    elements=st.floats(-1e4, 1e4, allow_nan=False, width=32),
+).map(lambda M: np.round(M, 3))
+# Rounding keeps affine transforms (scale * M + shift) from merging
+# near-denormal values into existing ones and creating new ties.
+
+
+@given(score_matrix)
+@settings(**SETTINGS)
+def test_ecdf_bounded(M):
+    U = ecdf_standardise(M)
+    assert (U >= 0).all() and (U <= 1).all()
+
+
+@given(score_matrix)
+@settings(**SETTINGS)
+def test_ecdf_monotone_per_row(M):
+    U = ecdf_standardise(M)
+    for i in range(M.shape[0]):
+        order = np.argsort(M[i], kind="mergesort")
+        assert (np.diff(U[i][order]) >= -1e-12).all()
+
+
+@given(score_matrix, st.floats(0.5, 20.0))
+@settings(**SETTINGS)
+def test_ecdf_invariant_to_row_scaling(M, scale):
+    # Strictly monotone transforms of a row leave its ECDF values
+    # unchanged (ranks are preserved).
+    U1 = ecdf_standardise(M)
+    U2 = ecdf_standardise(M * scale + 1.0)
+    np.testing.assert_allclose(U1, U2, atol=1e-12)
+
+
+@given(score_matrix)
+@settings(**SETTINGS)
+def test_average_between_min_and_max_of_standardised(M):
+    Z = zscore_standardise(M)
+    avg = average(M)
+    assert (avg >= Z.min(axis=0) - 1e-9).all()
+    assert (avg <= Z.max(axis=0) + 1e-9).all()
+
+
+@given(score_matrix)
+@settings(**SETTINGS)
+def test_maximization_dominates_average(M):
+    assert (maximization(M) >= average(M) - 1e-9).all()
+
+
+@given(score_matrix)
+@settings(**SETTINGS)
+def test_single_model_average_is_identity_after_standardisation(M):
+    row = M[:1]
+    np.testing.assert_allclose(average(row), zscore_standardise(row)[0])

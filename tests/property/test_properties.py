@@ -1,0 +1,280 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covers the JL distance-preservation bound (Eq. 1), metric invariances,
+scheduler partition invariants, and tree/forest prediction hulls.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.scheduling import (
+    bps_schedule,
+    generic_schedule,
+    karmarkar_karp_partition,
+    lpt_partition,
+    shuffle_schedule,
+)
+from repro.metrics import makespan, precision_at_n, rank_scores, roc_auc_score
+from repro.projection import JLProjector
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+@st.composite
+def binary_problem(draw):
+    n = draw(st.integers(5, 60))
+    scores = draw(
+        arrays(np.float64, n, elements=st.floats(-100, 100, allow_nan=False))
+    )
+    # Quantise so affine transforms (scale * s + shift) cannot merge
+    # distinct scores through float rounding and so create new ties.
+    scores = np.round(scores, 6)
+    n_pos = draw(st.integers(1, n - 1))
+    y = np.zeros(n, dtype=int)
+    y[:n_pos] = 1
+    perm = np.random.default_rng(draw(st.integers(0, 2**16))).permutation(n)
+    return y[perm], scores
+
+
+@given(binary_problem())
+@settings(**SETTINGS)
+def test_auc_complement_under_score_negation(problem):
+    y, s = problem
+    assert roc_auc_score(y, s) + roc_auc_score(y, -s) == pytest.approx(1.0)
+
+
+@given(binary_problem(), st.floats(0.1, 10.0))
+@settings(**SETTINGS)
+def test_auc_invariant_under_positive_scaling(problem, scale):
+    y, s = problem
+    assert roc_auc_score(y, s) == pytest.approx(roc_auc_score(y, scale * s + 3.0))
+
+
+@given(binary_problem())
+@settings(**SETTINGS)
+def test_auc_in_unit_interval(problem):
+    y, s = problem
+    assert 0.0 <= roc_auc_score(y, s) <= 1.0
+
+
+@given(binary_problem())
+@settings(**SETTINGS)
+def test_precision_at_n_in_unit_interval(problem):
+    y, s = problem
+    p = precision_at_n(y, s)
+    assert 0.0 <= p <= 1.0
+
+
+@given(arrays(np.float64, st.integers(1, 50), elements=finite_floats))
+@settings(**SETTINGS)
+def test_rank_scores_is_permutation_of_1_to_n_sum(scores):
+    r = rank_scores(scores)
+    n = scores.size
+    assert r.sum() == pytest.approx(n * (n + 1) / 2)
+    assert r.min() >= 1.0 and r.max() <= n
+
+
+# ---------------------------------------------------------------------------
+# Schedulers: partition invariants
+# ---------------------------------------------------------------------------
+@given(st.integers(0, 200), st.integers(1, 16))
+@settings(**SETTINGS)
+def test_generic_schedule_partition(m, t):
+    a = generic_schedule(m, t)
+    assert a.shape == (m,)
+    if m:
+        counts = np.bincount(a, minlength=t)
+        assert counts.sum() == m
+        assert counts.max() - counts.min() <= 1
+
+
+@given(st.integers(0, 100), st.integers(1, 8), st.integers(0, 2**16))
+@settings(**SETTINGS)
+def test_shuffle_schedule_partition(m, t, seed):
+    a = shuffle_schedule(m, t, random_state=seed)
+    if m:
+        counts = np.bincount(a, minlength=t)
+        assert counts.sum() == m
+        assert counts.max() - counts.min() <= 1
+
+
+@given(
+    arrays(
+        np.float64,
+        st.integers(1, 80),
+        elements=st.floats(0.0, 1e3, allow_nan=False),
+    ),
+    st.integers(1, 8),
+)
+@settings(**SETTINGS)
+def test_lpt_every_task_assigned_once(weights, t):
+    a = lpt_partition(weights, t)
+    assert a.shape == weights.shape
+    assert np.bincount(a, minlength=t).sum() == weights.size
+
+
+@given(
+    arrays(
+        np.float64,
+        st.integers(1, 60),
+        elements=st.floats(0.0, 1e3, allow_nan=False),
+    ),
+    st.integers(1, 6),
+)
+@settings(**SETTINGS)
+def test_kk_every_task_assigned_once(weights, t):
+    a = karmarkar_karp_partition(weights, t)
+    assert a.shape == weights.shape
+    assert np.bincount(a, minlength=t).sum() == weights.size
+
+
+@given(
+    arrays(
+        np.float64,
+        st.integers(2, 80),
+        elements=st.floats(0.01, 100.0, allow_nan=False),
+    ),
+    st.integers(2, 6),
+)
+@settings(**SETTINGS)
+def test_lpt_makespan_within_4_3_of_lower_bound(weights, t):
+    # LPT guarantee: makespan <= (4/3 - 1/(3t)) * OPT, and
+    # OPT >= max(mean load, max weight).
+    a = lpt_partition(weights, t)
+    span = makespan(weights, a, t)
+    lower = max(weights.sum() / t, weights.max())
+    assert span <= (4.0 / 3.0) * lower + 1e-9
+
+
+@given(
+    arrays(
+        np.float64,
+        st.integers(1, 60),
+        elements=st.floats(0.01, 100.0, allow_nan=False),
+    ),
+    st.integers(1, 6),
+    st.sampled_from(["lpt", "kk"]),
+)
+@settings(**SETTINGS)
+def test_bps_schedule_valid_partition(costs, t, method):
+    a = bps_schedule(costs, t, method=method)
+    assert a.shape == costs.shape
+    assert set(np.unique(a)) <= set(range(t))
+
+
+# ---------------------------------------------------------------------------
+# JL projection: Eq. 1 distance preservation (statistical form)
+# ---------------------------------------------------------------------------
+@given(
+    st.sampled_from(["basic", "discrete", "circulant", "toeplitz"]),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=10, deadline=None)
+def test_jl_eq1_distance_bound_statistical(family, seed):
+    rng = np.random.default_rng(seed)
+    n, d, k = 40, 64, 48
+    X = rng.standard_normal((n, d))
+    Z = JLProjector(k, family=family, random_state=seed).fit_transform(X)
+    from repro.utils.distances import pairwise_distances
+
+    D0 = pairwise_distances(X, metric="sqeuclidean")
+    D1 = pairwise_distances(Z, metric="sqeuclidean")
+    iu = np.triu_indices(n, k=1)
+    ratio = D1[iu] / D0[iu]
+    # Eq. 1: P[ratio outside (1 +/- eps)] <= 2 exp(-eps^2 k / 6).
+    eps = 0.5
+    bound = 2.0 * np.exp(-(eps**2) * k / 6.0)
+    violation_rate = float(((ratio < 1 - eps) | (ratio > 1 + eps)).mean())
+    # Allow generous slack over the theoretical tail (finite sample; the
+    # structured families are not fully independent across pairs).
+    assert violation_rate <= max(5 * bound, 0.05)
+
+
+@given(st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_jl_norm_preserved_in_expectation(seed):
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(50)
+    norms = []
+    for trial_seed in range(30):
+        p = JLProjector(25, family="basic", random_state=trial_seed).fit(
+            v.reshape(1, -1)
+        )
+        norms.append(np.linalg.norm(p.transform(v.reshape(1, -1))))
+    mean_sq = np.mean(np.square(norms))
+    assert mean_sq == pytest.approx(np.linalg.norm(v) ** 2, rel=0.3)
+
+
+# ---------------------------------------------------------------------------
+# Trees/forests: prediction hull
+# ---------------------------------------------------------------------------
+@st.composite
+def regression_problem(draw):
+    n = draw(st.integers(10, 80))
+    d = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, d)), rng.standard_normal(n)
+
+
+@given(regression_problem())
+@settings(max_examples=15, deadline=None)
+def test_tree_prediction_within_target_hull(problem):
+    from repro.supervised import DecisionTreeRegressor
+
+    X, y = problem
+    tree = DecisionTreeRegressor(max_depth=5, random_state=0).fit(X, y)
+    pred = tree.predict(X * 10 - 3)
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9
+
+
+@given(regression_problem())
+@settings(max_examples=8, deadline=None)
+def test_forest_prediction_within_target_hull(problem):
+    from repro.supervised import RandomForestRegressor
+
+    X, y = problem
+    rf = RandomForestRegressor(5, random_state=0).fit(X, y)
+    pred = rf.predict(-X * 7)
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Detectors: permutation equivariance of training scores
+# ---------------------------------------------------------------------------
+@given(st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_knn_scores_permutation_equivariant(seed):
+    from repro.detectors import KNN
+
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((50, 3))
+    perm = rng.permutation(50)
+    s = KNN(n_neighbors=4).fit(X).decision_scores_
+    s_perm = KNN(n_neighbors=4).fit(X[perm]).decision_scores_
+    np.testing.assert_allclose(s[perm], s_perm, atol=1e-9)
+
+
+@given(st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_hbos_scores_translation_invariant(seed):
+    from repro.detectors import HBOS
+
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((60, 4))
+    a = HBOS(n_bins=8).fit(X).decision_scores_
+    b = HBOS(n_bins=8).fit(X + 100.0).decision_scores_
+    np.testing.assert_allclose(a, b, atol=1e-9)

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.detectors import HBOS, KNN, LOF, IsolationForest
+from repro.metrics import roc_auc_score
+from repro.semi_supervised import XGBOD
+
+
+def fresh_pool():
+    return [
+        KNN(n_neighbors=8),
+        LOF(n_neighbors=12),
+        HBOS(),
+        IsolationForest(n_estimators=15, random_state=0),
+    ]
+
+
+@pytest.fixture(scope="module")
+def labeled_data():
+    from repro.data import make_outlier_dataset, train_test_split
+
+    X, y = make_outlier_dataset(500, 8, contamination=0.12, random_state=9)
+    return train_test_split(X, y, random_state=0)
+
+
+class TestXGBOD:
+    def test_fit_predict_shapes(self, labeled_data):
+        Xtr, Xte, ytr, yte = labeled_data
+        clf = XGBOD(fresh_pool(), random_state=0).fit(Xtr, ytr)
+        s = clf.decision_function(Xte)
+        assert s.shape == (Xte.shape[0],)
+        assert set(np.unique(clf.predict(Xte))) <= {0, 1}
+        assert clf.labels_.shape == (Xtr.shape[0],)
+
+    def test_labels_rescue_in_distribution_anomalies(self):
+        # Anomalies that are *in-distribution* (a subtle feature
+        # interaction) are invisible to unsupervised detectors but
+        # learnable from labels — the scenario XGBOD exists for.
+        rng = np.random.default_rng(4)
+        from repro.data import train_test_split
+
+        X = rng.standard_normal((800, 6))
+        y = ((np.abs(X[:, 0] - X[:, 1]) < 0.2) & (X[:, 2] > 0)).astype(int)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=0)
+        clf = XGBOD(fresh_pool(), random_state=0).fit(Xtr, ytr)
+        auc_semi = roc_auc_score(yte, clf.decision_function(Xte))
+        auc_unsup = max(
+            roc_auc_score(yte, det.fit(Xtr).decision_function(Xte))
+            for det in fresh_pool()
+        )
+        assert auc_unsup < 0.65, "sanity: unsupervised should be blind here"
+        assert auc_semi > 0.75
+        assert auc_semi > auc_unsup + 0.15
+
+    def test_competitive_on_standard_outliers(self, labeled_data):
+        # On data where unsupervised detection is near-perfect, labels
+        # cannot add anything; XGBOD must simply stay strong.
+        Xtr, Xte, ytr, yte = labeled_data
+        clf = XGBOD(fresh_pool(), random_state=0).fit(Xtr, ytr)
+        assert roc_auc_score(yte, clf.decision_function(Xte)) > 0.85
+
+    def test_partial_labels(self, labeled_data):
+        # Hide 70% of the outlier labels (treated as unlabeled = 0).
+        Xtr, Xte, ytr, yte = labeled_data
+        rng = np.random.default_rng(0)
+        y_partial = ytr.copy()
+        known_outliers = np.nonzero(ytr == 1)[0]
+        hide = rng.choice(
+            known_outliers, size=int(0.7 * known_outliers.size), replace=False
+        )
+        y_partial[hide] = 0
+        clf = XGBOD(fresh_pool(), random_state=0).fit(Xtr, y_partial)
+        assert roc_auc_score(yte, clf.decision_function(Xte)) > 0.75
+
+    def test_tos_selection(self, labeled_data):
+        Xtr, Xte, ytr, yte = labeled_data
+        clf = XGBOD(fresh_pool(), n_selected=2, random_state=0).fit(Xtr, ytr)
+        assert clf.selected_tos_.shape == (2,)
+        assert np.isfinite(clf.decision_function(Xte)).all()
+
+    def test_all_tos_kept_by_default(self, labeled_data):
+        Xtr, _, ytr, _ = labeled_data
+        clf = XGBOD(fresh_pool(), random_state=0).fit(Xtr, ytr)
+        np.testing.assert_array_equal(clf.selected_tos_, np.arange(4))
+
+    def test_custom_booster(self, labeled_data):
+        from repro.supervised import RandomForestRegressor
+
+        Xtr, Xte, ytr, _ = labeled_data
+        clf = XGBOD(
+            fresh_pool(),
+            booster=RandomForestRegressor(10, random_state=0),
+            random_state=0,
+        ).fit(Xtr, ytr)
+        assert isinstance(clf.booster_, RandomForestRegressor)
+        assert np.isfinite(clf.decision_function(Xte)).all()
+
+    def test_validation(self, labeled_data):
+        Xtr, _, ytr, _ = labeled_data
+        with pytest.raises(ValueError):
+            XGBOD([])
+        with pytest.raises(ValueError):
+            XGBOD(fresh_pool(), n_selected=0)
+        with pytest.raises(ValueError):
+            XGBOD(fresh_pool()).fit(Xtr, np.full(Xtr.shape[0], 2))
+        with pytest.raises(ValueError):
+            XGBOD(fresh_pool()).fit(Xtr, ytr[:-1])
+
+    def test_feature_mismatch(self, labeled_data):
+        Xtr, Xte, ytr, _ = labeled_data
+        clf = XGBOD(fresh_pool(), random_state=0).fit(Xtr, ytr)
+        with pytest.raises(ValueError, match="features"):
+            clf.decision_function(Xte[:, :3])

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.supervised import RandomForestRegressor
+
+
+@pytest.fixture
+def regression_data(rng):
+    X = rng.standard_normal((250, 6))
+    y = X[:, 0] * 3 + np.sin(X[:, 1] * 2) + 0.05 * rng.standard_normal(250)
+    return X, y
+
+
+class TestRandomForest:
+    def test_fit_predict(self, regression_data):
+        X, y = regression_data
+        rf = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+        assert rf.score(X, y) > 0.85
+        assert len(rf.estimators_) == 20
+
+    def test_deterministic_with_seed(self, regression_data):
+        X, y = regression_data
+        p1 = RandomForestRegressor(10, random_state=7).fit(X, y).predict(X)
+        p2 = RandomForestRegressor(10, random_state=7).fit(X, y).predict(X)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_different_seeds_differ(self, regression_data):
+        X, y = regression_data
+        p1 = RandomForestRegressor(5, random_state=1).fit(X, y).predict(X)
+        p2 = RandomForestRegressor(5, random_state=2).fit(X, y).predict(X)
+        assert not np.allclose(p1, p2)
+
+    def test_prediction_is_tree_mean(self, regression_data):
+        X, y = regression_data
+        rf = RandomForestRegressor(8, random_state=0).fit(X, y)
+        stacked = np.mean([t.predict(X) for t in rf.estimators_], axis=0)
+        np.testing.assert_allclose(rf.predict(X), stacked, rtol=1e-12)
+
+    def test_feature_importances(self, rng):
+        X = rng.standard_normal((300, 5))
+        y = 10 * X[:, 3]
+        rf = RandomForestRegressor(15, random_state=0).fit(X, y)
+        assert rf.feature_importances_.argmax() == 3
+        assert rf.feature_importances_.shape == (5,)
+
+    def test_oob_score(self, regression_data):
+        X, y = regression_data
+        rf = RandomForestRegressor(30, oob_score=True, random_state=0).fit(X, y)
+        assert 0.0 < rf.oob_score_ <= 1.0
+        assert rf.oob_prediction_.shape == y.shape
+
+    def test_oob_requires_bootstrap(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="bootstrap"):
+            RandomForestRegressor(5, bootstrap=False, oob_score=True).fit(X, y)
+
+    def test_no_bootstrap_mode(self, regression_data):
+        X, y = regression_data
+        rf = RandomForestRegressor(
+            5, bootstrap=False, max_features=None, random_state=0
+        ).fit(X, y)
+        # Without bootstrap or feature subsampling, all trees see identical
+        # data -> identical predictions.
+        preds = [t.predict(X[:10]) for t in rf.estimators_]
+        for p in preds[1:]:
+            np.testing.assert_allclose(p, preds[0])
+
+    def test_predictions_within_target_hull(self, regression_data):
+        X, y = regression_data
+        rf = RandomForestRegressor(10, random_state=0).fit(X, y)
+        pred = rf.predict(X * 50)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    def test_invalid_n_estimators(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError):
+            RandomForestRegressor(0).fit(X, y)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(2).fit(rng.random((5, 2)), rng.random(6))
+
+    def test_unfitted_raises(self):
+        from repro.utils.validation import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.ones((2, 2)))

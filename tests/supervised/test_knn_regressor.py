@@ -1,0 +1,49 @@
+import numpy as np
+import pytest
+
+from repro.supervised import KNeighborsRegressor
+
+
+class TestKNNRegressor:
+    def test_k1_memorises(self, rng):
+        X = rng.standard_normal((50, 3))
+        y = rng.standard_normal(50)
+        reg = KNeighborsRegressor(1).fit(X, y)
+        np.testing.assert_allclose(reg.predict(X), y)
+
+    def test_uniform_is_neighbor_mean(self, rng):
+        X = rng.standard_normal((30, 2))
+        y = rng.standard_normal(30)
+        reg = KNeighborsRegressor(3).fit(X, y)
+        q = rng.standard_normal((1, 2))
+        d = np.linalg.norm(X - q, axis=1)
+        expected = y[np.argsort(d)[:3]].mean()
+        assert reg.predict(q)[0] == pytest.approx(expected)
+
+    def test_distance_weighting_exact_match(self, rng):
+        X = rng.standard_normal((20, 2))
+        y = np.arange(20.0)
+        reg = KNeighborsRegressor(5, weights="distance").fit(X, y)
+        # A query equal to a training point returns that point's target.
+        assert reg.predict(X[3:4])[0] == pytest.approx(3.0)
+
+    def test_distance_weights_smoother_than_uniform_far(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = X[:, 0]
+        u = KNeighborsRegressor(10, weights="uniform").fit(X, y)
+        d = KNeighborsRegressor(10, weights="distance").fit(X, y)
+        q = rng.standard_normal((5, 2))
+        assert u.predict(q).shape == d.predict(q).shape == (5,)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(weights="gaussian")
+
+    def test_k_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(10).fit(rng.random((5, 2)), rng.random(5))
+
+    def test_score(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = X[:, 0] * 2
+        assert KNeighborsRegressor(3).fit(X, y).score(X, y) > 0.9

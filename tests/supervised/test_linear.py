@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.supervised import Ridge
+
+
+class TestRidge:
+    def test_recovers_linear_model(self, rng):
+        X = rng.standard_normal((200, 4))
+        w = np.array([1.0, -2.0, 0.5, 3.0])
+        y = X @ w + 5.0
+        r = Ridge(alpha=1e-8).fit(X, y)
+        np.testing.assert_allclose(r.coef_, w, atol=1e-6)
+        assert r.intercept_ == pytest.approx(5.0, abs=1e-6)
+
+    def test_alpha_shrinks_coefficients(self, rng):
+        X = rng.standard_normal((100, 3))
+        y = X @ np.array([2.0, 2.0, 2.0])
+        small = Ridge(alpha=1e-6).fit(X, y)
+        big = Ridge(alpha=1e3).fit(X, y)
+        assert np.linalg.norm(big.coef_) < np.linalg.norm(small.coef_)
+
+    def test_no_intercept(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = X @ np.array([1.0, 1.0]) + 10.0
+        r = Ridge(alpha=1e-8, fit_intercept=False).fit(X, y)
+        assert r.intercept_ == 0.0
+
+    def test_singular_system_falls_back(self):
+        # Duplicate column with alpha=0 -> singular Gram matrix.
+        X = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        y = np.array([1.0, 2.0, 3.0])
+        r = Ridge(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(r.predict(X), y, atol=1e-8)
+
+    def test_score_r2(self, rng):
+        X = rng.standard_normal((100, 3))
+        y = X[:, 0]
+        assert Ridge(alpha=1e-8).fit(X, y).score(X, y) == pytest.approx(1.0)
+
+    def test_negative_alpha_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0).fit(rng.random((5, 2)), rng.random(5))
+
+    def test_feature_mismatch_on_predict(self, rng):
+        r = Ridge().fit(rng.random((10, 3)), rng.random(10))
+        with pytest.raises(ValueError, match="features"):
+            r.predict(rng.random((2, 4)))
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Ridge().fit(rng.random((5, 2)), rng.random(4))

@@ -1,0 +1,127 @@
+import numpy as np
+import pytest
+
+from repro.supervised import DecisionTreeRegressor
+from repro.utils.validation import NotFittedError
+
+
+@pytest.fixture
+def regression_data(rng):
+    X = rng.standard_normal((200, 5))
+    y = 2.0 * X[:, 0] - X[:, 1] ** 2 + 0.1 * rng.standard_normal(200)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_and_predicts(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        pred = tree.predict(X)
+        assert pred.shape == y.shape
+        assert tree.score(X, y) > 0.8
+
+    def test_unlimited_depth_memorises(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=None).fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), y, atol=1e-9)
+
+    def test_depth_zero_is_mean_stump(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), y.mean())
+        assert tree.n_nodes_ == 1
+
+    def test_max_depth_respected(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.max_depth_ <= 3
+
+    def test_min_samples_leaf(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(min_samples_leaf=20).fit(X, y)
+        leaves = tree.feature_ == -2
+        assert (tree.n_node_samples_[leaves] >= 20).all()
+
+    def test_predictions_within_target_hull(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        pred = tree.predict(X + 100.0)  # far extrapolation
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    def test_constant_target_single_node(self, rng):
+        X = rng.standard_normal((50, 3))
+        tree = DecisionTreeRegressor().fit(X, np.full(50, 3.3))
+        assert tree.n_nodes_ == 1
+        np.testing.assert_allclose(tree.predict(X), 3.3)
+
+    def test_constant_features_no_split(self, rng):
+        X = np.ones((50, 3))
+        y = rng.standard_normal(50)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.n_nodes_ == 1
+
+    def test_feature_importances_sum_to_one(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+        assert (tree.feature_importances_ >= 0).all()
+
+    def test_importance_finds_signal_feature(self, rng):
+        X = rng.standard_normal((300, 4))
+        y = 5.0 * X[:, 2]
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        assert tree.feature_importances_.argmax() == 2
+
+    def test_min_impurity_decrease_prunes(self, regression_data):
+        X, y = regression_data
+        loose = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        strict = DecisionTreeRegressor(max_depth=8, min_impurity_decrease=0.5).fit(X, y)
+        assert strict.n_nodes_ < loose.n_nodes_
+
+    def test_max_features_subsampling_deterministic(self, regression_data):
+        X, y = regression_data
+        t1 = DecisionTreeRegressor(max_features=2, random_state=0).fit(X, y)
+        t2 = DecisionTreeRegressor(max_features=2, random_state=0).fit(X, y)
+        np.testing.assert_array_equal(t1.predict(X), t2.predict(X))
+
+    def test_apply_returns_leaves(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        leaves = tree.apply(X)
+        assert (tree.feature_[leaves] == -2).all()
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.ones((2, 2)))
+
+    def test_feature_count_mismatch(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.ones((2, 9)))
+
+    def test_invalid_params(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=-1).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features=0).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features="bogus").fit(X, y)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inconsistent"):
+            DecisionTreeRegressor().fit(rng.random((5, 2)), rng.random(4))
+
+    def test_duplicate_feature_values_no_invalid_split(self):
+        # Splits must never fall between equal feature values.
+        X = np.array([[0.0], [0.0], [0.0], [1.0], [1.0]])
+        y = np.array([0.0, 0.0, 0.0, 10.0, 10.0])
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.n_nodes_ == 3
+        np.testing.assert_allclose(tree.predict(X), y)

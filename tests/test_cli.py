@@ -1,0 +1,26 @@
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_schedulers_ablation(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "A3" in out and "makespan" in out
+
+    def test_scale_override(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.9")
+        assert main(["jl", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "median_distortion" in out
+
+    def test_invalid_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.utils.persistence import load_model, save_model
+
+
+class TestPersistence:
+    def test_detector_roundtrip(self, tmp_path, tiny_X):
+        from repro.detectors import KNN
+
+        det = KNN(n_neighbors=5).fit(tiny_X)
+        path = save_model(det, tmp_path / "knn.pkl")
+        loaded = load_model(path)
+        np.testing.assert_allclose(
+            loaded.decision_function(tiny_X), det.decision_function(tiny_X)
+        )
+
+    def test_suod_roundtrip(self, tmp_path, tiny_X):
+        from repro import SUOD
+        from repro.detectors import HBOS, KNN
+
+        clf = SUOD([KNN(n_neighbors=5), HBOS()], random_state=0).fit(tiny_X)
+        expected = clf.decision_function(tiny_X)
+        loaded = load_model(save_model(clf, tmp_path / "suod.pkl"))
+        np.testing.assert_allclose(loaded.decision_function(tiny_X), expected)
+
+    def test_unfitted_roundtrip(self, tmp_path):
+        from repro.detectors import LOF
+
+        loaded = load_model(save_model(LOF(n_neighbors=7), tmp_path / "m.pkl"))
+        assert loaded.n_neighbors == 7
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        import pickle
+
+        p = tmp_path / "foreign.pkl"
+        with open(p, "wb") as fh:
+            pickle.dump({"whatever": 1}, fh)
+        with pytest.raises(ValueError, match="not a repro model"):
+            load_model(p)
+
+    def test_future_format_rejected(self, tmp_path):
+        import pickle
+
+        p = tmp_path / "future.pkl"
+        with open(p, "wb") as fh:
+            pickle.dump(
+                {"magic": "repro-model", "format_version": 99, "model": None}, fh
+            )
+        with pytest.raises(ValueError, match="format version"):
+            load_model(p)
+
+    def test_version_recorded(self, tmp_path):
+        import pickle
+
+        import repro
+        from repro.detectors import HBOS
+
+        p = save_model(HBOS(), tmp_path / "v.pkl")
+        with open(p, "rb") as fh:
+            payload = pickle.load(fh)
+        assert payload["library_version"] == repro.__version__

@@ -1,0 +1,46 @@
+import numpy as np
+import pytest
+
+from repro.utils.random import check_random_state, spawn_seeds
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert check_random_state(g) is g
+
+    def test_legacy_randomstate_wrapped(self):
+        rs = np.random.RandomState(3)
+        g = check_random_state(rs)
+        assert isinstance(g, np.random.Generator)
+
+    def test_legacy_deterministic(self):
+        a = check_random_state(np.random.RandomState(3)).random(4)
+        b = check_random_state(np.random.RandomState(3)).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            check_random_state("seed")
+
+
+class TestSpawnSeeds:
+    def test_count_and_range(self):
+        seeds = spawn_seeds(0, 10)
+        assert len(seeds) == 10
+        assert all(0 <= s < 2**32 for s in seeds)
+        assert all(isinstance(s, int) for s in seeds)
+
+    def test_deterministic(self):
+        assert spawn_seeds(5, 8) == spawn_seeds(5, 8)
+
+    def test_distinct_with_high_probability(self):
+        assert len(set(spawn_seeds(1, 100))) == 100

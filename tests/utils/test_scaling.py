@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.utils import MinMaxScaler, StandardScaler
+from repro.utils.validation import NotFittedError
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.standard_normal((100, 4)) * 5 + 3
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_train_statistics_applied_to_test(self, rng):
+        Xtr = rng.standard_normal((50, 3))
+        sc = StandardScaler().fit(Xtr)
+        Z = sc.transform(Xtr[:5] + 100)
+        assert (Z > 10).all()  # far from the train mean stays far
+
+    def test_constant_column(self):
+        X = np.ones((20, 2))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z, 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.standard_normal((30, 3)) * 4 - 2
+        sc = StandardScaler().fit(X)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)), X, atol=1e-9)
+
+    def test_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(rng.random((2, 2)))
+
+    def test_feature_mismatch(self, rng):
+        sc = StandardScaler().fit(rng.random((10, 3)))
+        with pytest.raises(ValueError):
+            sc.transform(rng.random((2, 4)))
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self, rng):
+        X = rng.standard_normal((60, 3)) * 7
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self, rng):
+        X = rng.random((40, 2))
+        Z = MinMaxScaler((-1.0, 1.0)).fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), -1.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_out_of_range_extrapolates(self, rng):
+        X = rng.random((40, 2))
+        sc = MinMaxScaler().fit(X)
+        Z = sc.transform(X.max(axis=0, keepdims=True) + 1.0)
+        assert (Z > 1.0).all()
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.standard_normal((30, 4))
+        sc = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)), X, atol=1e-9)
+
+    def test_constant_column(self):
+        X = np.full((10, 1), 7.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler((1.0, 0.0))

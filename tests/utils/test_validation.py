@@ -1,0 +1,141 @@
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    NotFittedError,
+    check_array,
+    check_consistent_length,
+    check_is_fitted,
+    check_scalar,
+    column_or_1d,
+)
+
+
+class TestCheckArray:
+    def test_passthrough(self):
+        X = np.ones((3, 2))
+        out = check_array(X)
+        assert out.shape == (3, 2)
+        assert out.dtype == np.float64
+
+    def test_converts_lists(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+
+    def test_rejects_1d_by_default(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array(np.arange(5))
+
+    def test_allows_1d_when_disabled(self):
+        out = check_array(np.arange(5), ensure_2d=False)
+        assert out.shape == (5,)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError, match="scalar"):
+            check_array(3.0)
+
+    def test_rejects_3d_unless_allowed(self):
+        X = np.zeros((2, 2, 2))
+        with pytest.raises(ValueError, match="at most 2-dimensional"):
+            check_array(X)
+        assert check_array(X, allow_nd=True).shape == (2, 2, 2)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            check_array([[np.nan, 1.0]])
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            check_array([[np.inf, 1.0]])
+
+    def test_allows_nan_when_not_forced(self):
+        out = check_array([[np.nan, 1.0]], force_finite=False)
+        assert np.isnan(out[0, 0])
+
+    def test_min_samples_and_features(self):
+        with pytest.raises(ValueError, match="sample"):
+            check_array(np.ones((1, 3)), ensure_min_samples=2)
+        with pytest.raises(ValueError, match="feature"):
+            check_array(np.ones((3, 1)), ensure_min_features=2)
+
+    def test_copy_semantics(self):
+        X = np.ones((2, 2))
+        assert check_array(X, copy=False) is X  # no conversion needed
+        assert check_array(X, copy=True) is not X
+
+    def test_name_in_error(self):
+        with pytest.raises(ValueError, match="Xtest"):
+            check_array(np.arange(3), name="Xtest")
+
+
+class TestConsistentLength:
+    def test_ok(self):
+        check_consistent_length([1, 2], [3, 4], None)
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="Inconsistent"):
+            check_consistent_length([1, 2], [1, 2, 3])
+
+
+class TestCheckIsFitted:
+    def test_unfitted_raises(self):
+        class Est:
+            pass
+
+        with pytest.raises(NotFittedError):
+            check_is_fitted(Est())
+
+    def test_fitted_attribute_passes(self):
+        class Est:
+            pass
+
+        e = Est()
+        e.coef_ = 1
+        check_is_fitted(e)
+        check_is_fitted(e, "coef_")
+
+    def test_specific_attribute_missing(self):
+        class Est:
+            pass
+
+        e = Est()
+        e.other_ = 1
+        with pytest.raises(NotFittedError):
+            check_is_fitted(e, "coef_")
+
+    def test_not_fitted_is_value_and_attribute_error(self):
+        assert issubclass(NotFittedError, ValueError)
+        assert issubclass(NotFittedError, AttributeError)
+
+
+class TestColumnOr1d:
+    def test_1d_passthrough(self):
+        y = np.arange(4)
+        assert column_or_1d(y).shape == (4,)
+
+    def test_column_ravel(self):
+        assert column_or_1d(np.ones((4, 1))).shape == (4,)
+
+    def test_wide_rejected(self):
+        with pytest.raises(ValueError):
+            column_or_1d(np.ones((4, 2)))
+
+
+class TestCheckScalar:
+    def test_bounds(self):
+        assert check_scalar(5, "x", min_val=1, max_val=10) == 5
+
+    def test_below_min(self):
+        with pytest.raises(ValueError):
+            check_scalar(0, "x", min_val=1)
+
+    def test_exclusive_boundary(self):
+        with pytest.raises(ValueError):
+            check_scalar(1, "x", min_val=1, include_boundaries="neither")
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            check_scalar("a", "x")
+
+    def test_bool_rejected_for_real(self):
+        with pytest.raises(TypeError):
+            check_scalar(True, "x")

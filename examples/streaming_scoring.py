@@ -1,0 +1,80 @@
+"""Streaming scoring with chunked work-stealing execution.
+
+A deployment-shaped demo: fit a heterogeneous SUOD pool once, then serve
+a stream of scoring requests. Two engine features beyond the paper's
+static schedule-then-execute design carry the load:
+
+- ``batch_size`` splits each request into row chunks, so the scheduling
+  unit is (model × chunk) — per-task memory stays bounded and the
+  longest task shrinks;
+- ``backend="work_stealing"`` lets idle workers steal queued chunks, so
+  a mis-forecast model cost degrades throughput gracefully instead of
+  stalling a worker.
+
+Chunked scores are bitwise-identical to the sequential path — the demo
+verifies that on every batch.
+
+Run:  python examples/streaming_scoring.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SUOD
+from repro.data import make_outlier_dataset
+from repro.detectors import HBOS, KNN, LOF, AvgKNN, IsolationForest
+
+
+def make_pool():
+    return [
+        KNN(n_neighbors=12),
+        AvgKNN(n_neighbors=15),
+        LOF(n_neighbors=20),
+        HBOS(n_bins=20),
+        IsolationForest(n_estimators=40, random_state=0),
+    ]
+
+
+def main() -> None:
+    X_train, _ = make_outlier_dataset(
+        n_samples=1500, n_features=10, contamination=0.1, random_state=0
+    )
+
+    engine = SUOD(
+        make_pool(),
+        n_jobs=4,
+        backend="work_stealing",
+        batch_size=128,
+        approx_flag_global=False,  # keep raw detectors: worst-case costs
+        random_state=0,
+    ).fit(X_train)
+    reference = SUOD(
+        make_pool(), n_jobs=1, approx_flag_global=False, random_state=0
+    ).fit(X_train)
+    print(engine)
+    print(f"fitted pool of {engine.n_models} detectors on "
+          f"{X_train.shape[0]}x{X_train.shape[1]} train data\n")
+
+    rng = np.random.default_rng(42)
+    print(f"{'batch':>5} {'rows':>6} {'latency':>9} {'rows/s':>9} "
+          f"{'steals':>7} {'max idle':>9}")
+    for batch_id in range(6):
+        n_rows = int(rng.integers(300, 900))
+        stream = rng.standard_normal((n_rows, X_train.shape[1]))
+        t0 = time.perf_counter()
+        scores = engine.decision_function(stream)
+        latency = time.perf_counter() - t0
+        telemetry = engine.predict_result_
+        assert np.array_equal(scores, reference.decision_function(stream)), \
+            "chunked scores must match the sequential path bitwise"
+        print(
+            f"{batch_id:>5} {n_rows:>6} {latency:>8.3f}s "
+            f"{n_rows / latency:>9.0f} {telemetry.total_steals:>7} "
+            f"{telemetry.idle_times.max():>8.3f}s"
+        )
+    print("\nevery batch verified bitwise-equal to the sequential engine")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@ from repro.bench.ablations import (
 )
 from repro.bench.runners import (
     run_claims_case,
+    run_dynamic_scheduling,
     run_fig3_decision_surface,
     run_psa_comparison,
     run_table1_projection,
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "table5": (run_table5_full_system, "Table 5 — full system vs baseline"),
     "fig3": (run_fig3_decision_surface, "Figure 3 — decision surfaces"),
     "claims": (run_claims_case, "§4.5 — claims fraud case"),
+    "dynamic": (run_dynamic_scheduling, "Static vs work-stealing scheduling"),
     "jl": (run_jl_distortion, "A1 — JL distortion ablation"),
     "cost": (run_cost_predictor_validation, "A2 — cost predictor validation"),
     "schedulers": (run_scheduler_ablation, "A3 — scheduler ablation"),

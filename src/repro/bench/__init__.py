@@ -17,6 +17,7 @@ from repro.bench.runners import (
     run_table5_full_system,
     run_fig3_decision_surface,
     run_claims_case,
+    run_dynamic_scheduling,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "run_table5_full_system",
     "run_fig3_decision_surface",
     "run_claims_case",
+    "run_dynamic_scheduling",
 ]

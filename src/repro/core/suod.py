@@ -29,7 +29,7 @@ from repro.core.cost import AnalyticCostModel
 from repro.core.scheduling import bps_schedule, generic_schedule
 from repro.detectors.base import BaseDetector
 from repro.detectors.registry import family_of, is_costly
-from repro.parallel import get_backend
+from repro.parallel import chunk_slices, get_backend, scatter_chunk_results
 from repro.projection import JLProjector, NoProjection, jl_target_dim
 from repro.utils.random import check_random_state, spawn_seeds
 from repro.utils.validation import check_array, check_is_fitted
@@ -86,9 +86,25 @@ class SUOD:
         trained :class:`repro.core.cost.CostPredictor` for learned costs.
     n_jobs : int, default 1
         Worker count t.
-    backend : {'sequential', 'threads', 'processes', 'simulated'}
+    backend : {'sequential', 'threads', 'processes', 'simulated', 'work_stealing'}
         Execution backend (see :mod:`repro.parallel`). With ``n_jobs=1``
-        the sequential backend is always used.
+        the sequential backend is always used. ``'work_stealing'`` keeps
+        the BPS/generic assignment as a locality hint but lets idle
+        workers steal queued tasks at runtime, which recovers from bad
+        cost forecasts.
+    batch_size : int or None, default None
+        Row-chunk size for scoring. When set, ``decision_function`` /
+        ``predict`` split ``X`` into blocks of at most ``batch_size``
+        rows and schedule (model × chunk) tasks instead of one task per
+        model — a finer grain that packs workers tighter and bounds
+        per-task memory. Chunked scores are bitwise identical to
+        unchunked ones (per-row scorers are row-separable). Fitting
+        keeps the per-model grain: detector training couples all rows,
+        so a train-time row split would change the models themselves.
+        Prefer the ``threads``/``work_stealing`` backends for chunked
+        scoring; under ``processes`` a model whose chunks span workers
+        is pickled once per worker group it appears in (up to
+        ``n_jobs`` times) rather than once.
     combination : {'average', 'maximization', 'moa'}, default 'average'
         Combiner for the final score (the paper reports Avg and MOA).
     standardisation : {'ecdf', 'zscore'}, default 'ecdf'
@@ -130,6 +146,7 @@ class SUOD:
         cost_predictor=None,
         n_jobs: int = 1,
         backend: str = "sequential",
+        batch_size: int | None = None,
         combination: str = "average",
         standardisation: str = "ecdf",
         random_state=None,
@@ -150,6 +167,8 @@ class SUOD:
             raise ValueError("standardisation must be 'ecdf' or 'zscore'")
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be None or >= 1")
         self.base_estimators = list(base_estimators)
         self.contamination = contamination
         self.rp_flag_global = rp_flag_global
@@ -163,6 +182,7 @@ class SUOD:
         self.cost_predictor = cost_predictor
         self.n_jobs = n_jobs
         self.backend = backend
+        self.batch_size = batch_size
         self.combination = combination
         self.standardisation = standardisation
         self.random_state = random_state
@@ -182,14 +202,22 @@ class SUOD:
             return get_backend("sequential")
         return get_backend(self.backend, n_workers=self.n_jobs)
 
-    def _schedule(self, models, X) -> np.ndarray:
-        if self.n_jobs == 1:
-            return np.zeros(len(models), dtype=np.int64)
-        if not self.bps_flag:
-            return generic_schedule(len(models), self.n_jobs)
+    def _forecast(self, models, X) -> np.ndarray:
         predictor = self.cost_predictor or AnalyticCostModel()
-        costs = predictor.forecast(models, X)
+        return np.asarray(predictor.forecast(models, X), dtype=np.float64)
+
+    def _schedule_costs(self, n_tasks: int, costs: np.ndarray | None) -> np.ndarray:
+        """Assignment for ``n_tasks`` tasks from optional forecast costs."""
+        if self.n_jobs == 1:
+            return np.zeros(n_tasks, dtype=np.int64)
+        if not self.bps_flag or costs is None:
+            return generic_schedule(n_tasks, self.n_jobs)
         return bps_schedule(costs, self.n_jobs)
+
+    def _schedule(self, models, X) -> np.ndarray:
+        if self.n_jobs == 1 or not self.bps_flag:
+            return self._schedule_costs(len(models), None)
+        return self._schedule_costs(len(models), self._forecast(models, X))
 
     # ------------------------------------------------------------------
     def fit(self, X, y=None) -> "SUOD":
@@ -310,14 +338,23 @@ class SUOD:
         )
 
     def decision_function_matrix(self, X) -> np.ndarray:
-        """Raw (m, l) score matrix on new samples (one row per model)."""
+        """Raw (m, l) score matrix on new samples (one row per model).
+
+        With ``batch_size`` set and more rows than the batch, the work is
+        split into (model × row-chunk) tasks; otherwise each model scores
+        all rows in one task. Either way, the returned matrix is
+        identical — chunking changes the execution grain only.
+        """
         check_is_fitted(self, "base_estimators_")
         X = check_array(X, name="X")
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"X has {X.shape[1]} features, expected {self.n_features_in_}"
             )
+        n = X.shape[0]
         spaces = [proj.transform(X) for proj in self.projectors_]
+        if self.batch_size is not None and n > self.batch_size:
+            return self._score_chunked(X, spaces, n)
         assignment = self._schedule(self.base_estimators_, X)
         tasks = [
             functools.partial(_score_one, approx, spaces[i])
@@ -328,6 +365,41 @@ class SUOD:
         result.raise_first_error()
         self.predict_result_ = result
         return np.stack(result.results)
+
+    def _score_chunked(self, X, spaces, n: int) -> np.ndarray:
+        """Score via (model × chunk) tasks and reassemble the matrix.
+
+        Per-task forecast cost is the model's forecast scaled by the
+        chunk's row fraction, so BPS ranks stay meaningful at the finer
+        grain. Projection happened once on the full ``X`` (chunks are
+        views of the projected spaces), which is what makes chunked and
+        unchunked scores bitwise-equal.
+        """
+        slices = chunk_slices(n, self.batch_size)
+        owners = [
+            (i, sl) for i in range(self.n_models) for sl in slices
+        ]
+        tasks = [
+            functools.partial(_score_one, self.approximators_[i], spaces[i][sl])
+            for i, sl in owners
+        ]
+        if self.n_jobs > 1 and self.bps_flag:
+            model_costs = self._forecast(self.base_estimators_, X)
+            costs = np.array(
+                [model_costs[i] * (sl.stop - sl.start) / n for i, sl in owners]
+            )
+        else:
+            costs = None
+        assignment = self._schedule_costs(len(tasks), costs)
+        backend = self._make_backend()
+        result = backend.execute(tasks, assignment)
+        result.raise_first_error()
+        self.predict_result_ = result
+        self._log(
+            f"chunked scoring: {self.n_models} models x {len(slices)} chunks "
+            f"(batch_size={self.batch_size}), wall {result.wall_time:.3f}s"
+        )
+        return scatter_chunk_results(result.results, owners, self.n_models, n)
 
     def decision_function(self, X) -> np.ndarray:
         """Combined outlyingness of new samples (larger = more outlying).
@@ -356,5 +428,6 @@ class SUOD:
         return (
             f"SUOD(m={self.n_models}, rp={self.rp_flag_global}, "
             f"approx={self.approx_flag_global}, bps={self.bps_flag}, "
-            f"n_jobs={self.n_jobs}, backend={self.backend!r})"
+            f"n_jobs={self.n_jobs}, backend={self.backend!r}, "
+            f"batch_size={self.batch_size})"
         )

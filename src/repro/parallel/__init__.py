@@ -12,10 +12,18 @@ interface:
   core while *replaying* their measured costs through t virtual workers
   with a virtual clock. On a single-core host this reproduces exactly the
   quantity the BPS scheduler optimises (the makespan of the assignment)
-  without needing t physical cores — see DESIGN.md substitution table.
+  without needing t physical cores — see DESIGN.md substitution table;
+- :class:`WorkStealingBackend` — dynamic scheduling: per-worker deques
+  seeded by the static assignment, with runtime stealing when a queue
+  runs dry. Also supports a deterministic virtual-clock replay
+  (``known_costs=...``) for static-vs-dynamic comparisons.
 
-All backends take a pre-computed ``assignment`` (task -> worker), so the
-scheduling policy (generic vs BPS) stays a separate, testable concern.
+Static backends take a pre-computed ``assignment`` (task -> worker), so
+the scheduling policy (generic vs BPS) stays a separate, testable
+concern; the work-stealing backend treats the assignment as a locality
+hint it may override at runtime. :mod:`repro.parallel.chunking` splits
+scoring work along the sample axis so the scheduling unit becomes
+(model × row-block) instead of a whole model.
 """
 
 from repro.parallel.execution import (
@@ -25,7 +33,10 @@ from repro.parallel.execution import (
     ProcessBackend,
     SimulatedClusterBackend,
     get_backend,
+    register_backend,
 )
+from repro.parallel.work_stealing import WorkStealingBackend
+from repro.parallel.chunking import chunk_slices, n_chunks, scatter_chunk_results
 
 __all__ = [
     "ExecutionResult",
@@ -33,5 +44,10 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "SimulatedClusterBackend",
+    "WorkStealingBackend",
     "get_backend",
+    "register_backend",
+    "chunk_slices",
+    "n_chunks",
+    "scatter_chunk_results",
 ]

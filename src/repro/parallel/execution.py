@@ -27,6 +27,7 @@ __all__ = [
     "ProcessBackend",
     "SimulatedClusterBackend",
     "get_backend",
+    "register_backend",
 ]
 
 
@@ -47,12 +48,30 @@ class ExecutionResult:
         Busy time per worker (same clock as ``wall_time``).
     task_times : numpy.ndarray
         Measured duration of each task.
+    idle_times : numpy.ndarray
+        Per-worker idle seconds: time a worker spent without a task
+        while the run was still in flight. Static backends leave this
+        empty; dynamic backends (work stealing) populate it — on a
+        well-balanced run it stays near zero.
+    steal_counts : numpy.ndarray
+        Per-worker count of tasks *stolen* from another worker's queue.
+        Empty for static backends; a high total under
+        :class:`WorkStealingBackend` means the initial assignment (or
+        cost forecast behind it) was badly off.
     """
 
     results: list = field(default_factory=list)
     wall_time: float = 0.0
     worker_times: np.ndarray = field(default_factory=lambda: np.zeros(1))
     task_times: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    idle_times: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    steal_counts: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    @property
+    def total_steals(self) -> int:
+        return int(self.steal_counts.sum()) if self.steal_counts.size else 0
 
     @property
     def n_failed(self) -> int:
@@ -217,6 +236,15 @@ _BACKENDS = {
     "processes": ProcessBackend,
     "simulated": SimulatedClusterBackend,
 }
+
+
+def register_backend(name: str, cls) -> None:
+    """Add a backend class to the :func:`get_backend` registry.
+
+    Used by sibling modules (e.g. work stealing) so the registry stays
+    the single lookup point without circular imports.
+    """
+    _BACKENDS[name] = cls
 
 
 def get_backend(name: str, n_workers: int = 1):

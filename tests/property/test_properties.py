@@ -139,6 +139,35 @@ def test_kk_every_task_assigned_once(weights, t):
     assert np.bincount(a, minlength=t).sum() == weights.size
 
 
+def _opt_makespan(weights: np.ndarray, t: int) -> float:
+    """Exact optimal makespan by branch-and-bound over assignments.
+
+    Only feasible for tiny instances (the property test bounds m and t).
+    Jobs are placed largest-first; a branch is cut when its partial
+    makespan already meets the incumbent.
+    """
+    order = np.sort(np.asarray(weights, dtype=np.float64))[::-1]
+    best = float(order.sum())  # everything on one worker
+
+    def place(i: int, loads: tuple[float, ...]) -> None:
+        nonlocal best
+        if i == order.size:
+            best = min(best, max(loads))
+            return
+        seen = set()
+        for w in range(t):
+            if loads[w] in seen:  # identical loads are symmetric
+                continue
+            seen.add(loads[w])
+            new = loads[w] + order[i]
+            if new >= best:
+                continue
+            place(i + 1, loads[:w] + (new,) + loads[w + 1 :])
+
+    place(0, (0.0,) * t)
+    return best
+
+
 @given(
     arrays(
         np.float64,
@@ -148,13 +177,33 @@ def test_kk_every_task_assigned_once(weights, t):
     st.integers(2, 6),
 )
 @settings(**SETTINGS)
-def test_lpt_makespan_within_4_3_of_lower_bound(weights, t):
-    # LPT guarantee: makespan <= (4/3 - 1/(3t)) * OPT, and
-    # OPT >= max(mean load, max weight).
+def test_lpt_within_list_scheduling_bound(weights, t):
+    # Any list schedule (greedy "assign to lightest worker") satisfies
+    # span <= sum/t + (1 - 1/t) * max. This is a *valid certificate*
+    # without knowing OPT — unlike (4/3) * lower_bound, which is
+    # falsified e.g. by 4 unit jobs on 3 workers (span 2 > 16/9).
     a = lpt_partition(weights, t)
     span = makespan(weights, a, t)
-    lower = max(weights.sum() / t, weights.max())
-    assert span <= (4.0 / 3.0) * lower + 1e-9
+    bound = weights.sum() / t + (1.0 - 1.0 / t) * weights.max()
+    assert span <= bound + 1e-9
+
+
+@given(
+    arrays(
+        np.float64,
+        st.integers(2, 9),
+        elements=st.floats(0.01, 100.0, allow_nan=False),
+    ),
+    st.integers(2, 3),
+)
+@settings(**SETTINGS)
+def test_lpt_within_4_3_of_exact_opt_small(weights, t):
+    # Graham's LPT guarantee against the true optimum, checked exactly
+    # on small instances: span <= (4/3 - 1/(3t)) * OPT.
+    a = lpt_partition(weights, t)
+    span = makespan(weights, a, t)
+    opt = _opt_makespan(weights, t)
+    assert span <= (4.0 / 3.0 - 1.0 / (3.0 * t)) * opt + 1e-9
 
 
 @given(

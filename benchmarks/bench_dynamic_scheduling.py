@@ -1,4 +1,4 @@
-"""Static vs dynamic scheduling on skewed cost pools.
+"""Static vs dynamic scheduling on skewed cost pools + plan telemetry.
 
 Extends Table 4's question past the paper: once costs are *forecast*
 (imperfectly), how much does a runtime policy (work stealing) recover
@@ -10,13 +10,21 @@ deterministic virtual clock, so rows are exactly reproducible.
 Shape expectations: work stealing never loses to the static schedule it
 was seeded with, closes most of the Generic-vs-ideal gap, and chunking
 (finer grain) pushes the makespan to the sum/t lower bound.
+
+The second benchmark audits the planner/executor refactor itself: every
+fit/predict pass now flows through an ExecutionPlan, and each stage
+leaves a StageReport. The per-stage wall times are printed, and the
+plan machinery's own cost (phase wall minus summed stage walls) must
+stay within 5% of the execute stage's makespan — i.e. the refactor adds
+no measurable scheduling overhead over the direct backend dispatch of
+PR 1.
 """
 
 import numpy as np
 
 from conftest import run_once
 from repro.bench import format_table
-from repro.bench.runners import run_dynamic_scheduling
+from repro.bench.runners import run_dynamic_scheduling, run_plan_overhead
 
 
 def test_dynamic_scheduling(benchmark, cfg):
@@ -48,3 +56,40 @@ def test_dynamic_scheduling(benchmark, cfg):
     # Finer grain approaches the sum/t lower bound.
     assert (ws_chunk <= ws_gen * (1 + 1e-9)).all()
     assert (ws_chunk / ideal).mean() < 1.15
+
+
+def test_plan_stage_timings(benchmark, cfg):
+    rows, meta = run_once(benchmark, run_plan_overhead, cfg)
+    print()
+    print(
+        meta["config"],
+        f"(n={meta['n']}, m={meta['m']}, t={meta['n_jobs']}, "
+        f"backend={meta['backend']})",
+    )
+    print(format_table(
+        rows,
+        columns=["phase", "stage", "wall_s", "share_pct", "steals", "overhead_pct"],
+        title="\nPer-stage wall times of a planned fit + predict pass",
+    ))
+    print(
+        f"combined telemetry: wall {meta['combined_wall']:.3f}s, "
+        f"steals {meta['combined_steals']}, idle {meta['combined_idle']:.3f}s"
+    )
+
+    # Every stage of both plans reported, in pipeline order.
+    stages = {r["phase"]: [] for r in rows}
+    for r in rows:
+        stages[r["phase"]].append(r["stage"])
+    assert stages["fit"][:6] == [
+        "project", "forecast", "schedule", "execute", "approximate", "combine",
+    ]
+    assert stages["predict"][:5] == [
+        "project", "forecast", "schedule", "execute", "combine",
+    ]
+
+    # The refactor contract: plan machinery costs < 5% of the makespan
+    # it orchestrates, for both phases.
+    overhead = {r["phase"]: r["overhead_pct"] for r in rows if "overhead_pct" in r}
+    assert set(overhead) == {"fit", "predict"}
+    for phase, pct in overhead.items():
+        assert pct < 5.0, f"{phase} plan overhead {pct:.2f}% of makespan"

@@ -11,8 +11,6 @@ Run:  python examples/fast_prediction_psa.py
 
 import time
 
-import numpy as np
-
 from repro.core.approximation import Approximator
 from repro.data import load_benchmark, train_test_split
 from repro.detectors import KNN, LOF

@@ -11,8 +11,6 @@ Run:  python examples/high_dimensional_rp.py
 
 import time
 
-import numpy as np
-
 from repro.data import load_benchmark
 from repro.detectors import KNN
 from repro.metrics import roc_auc_score, spearmanr

@@ -37,7 +37,7 @@ def main() -> None:
     kept, idx = trim_pool(pool, Xtr, keep_fraction=0.5, subsample=300,
                           random_state=0)
     print(f"trimmed to {len(kept)} models in {time.perf_counter() - t0:.2f}s "
-          f"(pilot fit on a 300-sample subsample)")
+          "(pilot fit on a 300-sample subsample)")
 
     # -- the SUOD core: all three acceleration modules -------------------
     clf = SUOD(kept, n_jobs=4, backend="simulated", random_state=0)
@@ -50,14 +50,14 @@ def main() -> None:
     lscp = LSCP(n_neighbors=20, n_select=3).fit(Xtr, clf.train_score_matrix_)
     local_scores = lscp.combine(Xte, clf.decision_function_matrix(Xte))
 
-    print(f"\nglobal average combination ROC: "
+    print("\nglobal average combination ROC: "
           f"{roc_auc_score(yte, global_scores):.3f}")
-    print(f"LSCP local selection ROC:       "
+    print("LSCP local selection ROC:       "
           f"{roc_auc_score(yte, local_scores):.3f}")
 
     chosen = lscp.selected_models(Xte)
     print(f"\nLSCP picked {len(set(chosen.ravel().tolist()))} distinct "
-          f"detectors across the test set — competence is local.")
+          "detectors across the test set — competence is local.")
     print("(LSCP trades robustness of the global average for local "
           "adaptivity;\n which wins is dataset-dependent — see the LSCP "
           "paper's discussion.)")

@@ -1,8 +1,11 @@
-"""Streaming scoring with chunked work-stealing execution.
+"""Streaming scoring driven through the plan API, with persistence.
 
-A deployment-shaped demo: fit a heterogeneous SUOD pool once, then serve
-a stream of scoring requests. Two engine features beyond the paper's
-static schedule-then-execute design carry the load:
+A deployment-shaped demo of the planner/executor architecture: fit a
+heterogeneous SUOD pool once (inspecting the compiled fit plan before
+running it), persist the fitted ensemble, reload it, then serve a
+stream of scoring requests — each request is a predict
+:class:`~repro.pipeline.ExecutionPlan` whose stage reports provide
+per-batch telemetry:
 
 - ``batch_size`` splits each request into row chunks, so the scheduling
   unit is (model × chunk) — per-task memory stays bounded and the
@@ -12,18 +15,21 @@ static schedule-then-execute design carry the load:
   stalling a worker.
 
 Chunked scores are bitwise-identical to the sequential path — the demo
-verifies that on every batch.
+verifies that on every batch, against the *reloaded* ensemble.
 
 Run:  python examples/streaming_scoring.py
 """
 
-import time
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
-from repro import SUOD
+from repro import SUOD, load_ensemble, save_ensemble
 from repro.data import make_outlier_dataset
 from repro.detectors import HBOS, KNN, LOF, AvgKNN, IsolationForest
+from repro.parallel import ExecutionResult
+from repro.pipeline import PlanRunner
 
 
 def make_pool():
@@ -48,24 +54,42 @@ def main() -> None:
         batch_size=128,
         approx_flag_global=False,  # keep raw detectors: worst-case costs
         random_state=0,
-    ).fit(X_train)
+    )
+
+    # -- compile the fit plan; preview the schedule before training ----
+    fit_plan = engine.build_fit_plan(X_train)
+    runner = PlanRunner()
+    runner.run(fit_plan, until="schedule")
+    print("fit plan:", fit_plan)
+    print("planned worker loads:", fit_plan.worker_rows())
+    runner.run(fit_plan)  # resume the same plan -> the ensemble is fitted
+    print(f"fitted {engine.n_models} detectors; fit-plan stage walls:")
+    for report in fit_plan.reports:
+        print(f"  {report.stage:<12s} {report.wall_time:8.4f}s")
+
+    # -- persist + reload: the served ensemble is the reloaded one -----
+    path = Path(tempfile.mkdtemp()) / "streaming_ensemble.pkl"
+    save_ensemble(engine, path)
+    served = load_ensemble(path)
+    print(f"\nensemble round-tripped through {path.name}")
+
     reference = SUOD(
         make_pool(), n_jobs=1, approx_flag_global=False, random_state=0
     ).fit(X_train)
-    print(engine)
-    print(f"fitted pool of {engine.n_models} detectors on "
-          f"{X_train.shape[0]}x{X_train.shape[1]} train data\n")
 
     rng = np.random.default_rng(42)
-    print(f"{'batch':>5} {'rows':>6} {'latency':>9} {'rows/s':>9} "
+    batch_executions = []
+    print(f"\n{'batch':>5} {'rows':>6} {'latency':>9} {'rows/s':>9} "
           f"{'steals':>7} {'max idle':>9}")
     for batch_id in range(6):
         n_rows = int(rng.integers(300, 900))
         stream = rng.standard_normal((n_rows, X_train.shape[1]))
-        t0 = time.perf_counter()
-        scores = engine.decision_function(stream)
-        latency = time.perf_counter() - t0
-        telemetry = engine.predict_result_
+        plan = served.build_predict_plan(stream)
+        runner.run(plan)
+        scores = plan.context.scores
+        latency = plan.total_wall_time
+        telemetry = plan.report_for("execute").execution
+        batch_executions.append(plan.merged_execution())
         assert np.array_equal(scores, reference.decision_function(stream)), \
             "chunked scores must match the sequential path bitwise"
         print(
@@ -73,7 +97,14 @@ def main() -> None:
             f"{n_rows / latency:>9.0f} {telemetry.total_steals:>7} "
             f"{telemetry.idle_times.max():>8.3f}s"
         )
-    print("\nevery batch verified bitwise-equal to the sequential engine")
+
+    merged = ExecutionResult.merge(batch_executions)
+    print(
+        "\ncombined run telemetry (all served batches): "
+        f"wall {merged.wall_time:.3f}s, steals {merged.total_steals}, "
+        f"idle {merged.idle_times.sum():.3f}s"
+    )
+    print("every batch verified bitwise-equal to the sequential engine")
 
 
 if __name__ == "__main__":

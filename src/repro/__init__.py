@@ -8,5 +8,9 @@ supervised approximators, scheduling, parallel backends, metrics, data).
 __version__ = "1.0.0"
 
 from repro.core import SUOD  # noqa: F401  (public headline API)
+from repro.utils.persistence import (  # noqa: F401
+    load_ensemble,
+    save_ensemble,
+)
 
-__all__ = ["SUOD", "__version__"]
+__all__ = ["SUOD", "save_ensemble", "load_ensemble", "__version__"]

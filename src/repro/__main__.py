@@ -7,6 +7,12 @@ Usage::
     python -m repro table4 --scale 0.2
     python -m repro fig3
     python -m repro all --scale 0.05
+    python -m repro plan [--phase fit|predict|both] [--format table|json]
+
+``plan`` is not an experiment: it compiles a SUOD fit/predict pass into
+its :class:`~repro.pipeline.ExecutionPlan` and prints the stages, the
+forecast per-task costs, and the chosen worker assignment — without
+training anything (fit plans stop after the schedule stage).
 
 Experiments honour the same REPRO_* environment variables as the
 benchmark suite; CLI flags override them.
@@ -16,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 import time
 
@@ -30,6 +37,7 @@ from repro.bench.runners import (
     run_claims_case,
     run_dynamic_scheduling,
     run_fig3_decision_surface,
+    run_plan_overhead,
     run_psa_comparison,
     run_table1_projection,
     run_table4_bps,
@@ -44,11 +52,143 @@ EXPERIMENTS = {
     "fig3": (run_fig3_decision_surface, "Figure 3 — decision surfaces"),
     "claims": (run_claims_case, "§4.5 — claims fraud case"),
     "dynamic": (run_dynamic_scheduling, "Static vs work-stealing scheduling"),
+    "stages": (run_plan_overhead, "Plan stage telemetry — per-stage wall times"),
     "jl": (run_jl_distortion, "A1 — JL distortion ablation"),
     "cost": (run_cost_predictor_validation, "A2 — cost predictor validation"),
     "schedulers": (run_scheduler_ablation, "A3 — scheduler ablation"),
     "approximators": (run_approximator_ablation, "A4 — approximator ablation"),
 }
+
+_BACKENDS = ("sequential", "threads", "processes", "simulated", "work_stealing")
+
+
+def _task_labels(plan, estimators) -> list[str]:
+    """Human label per scheduled task (family, plus rows for chunks)."""
+    from repro.detectors.registry import family_of
+
+    families = [family_of(est) for est in estimators]
+    owners = plan.context.get("owners")
+    if owners is None:
+        return families
+    return [f"{families[i]}[{sl.start}:{sl.stop}]" for i, sl in owners]
+
+
+def _print_plan(kind: str, plan, estimators, max_rows: int = 48) -> None:
+    meta = plan.meta
+    print(
+        f"\n=== {kind} plan — backend={meta['backend']} n_jobs={meta['n_jobs']} "
+        f"grain={meta['grain']} tasks={meta['n_tasks']} ==="
+    )
+    print(
+        format_table(
+            plan.describe(),
+            columns=["stage", "status", "wall_s", "detail"],
+            title="Stages",
+        )
+    )
+    rows = plan.assignment_rows(labels=_task_labels(plan, estimators))
+    if rows:
+        shown = rows[:max_rows]
+        print(
+            format_table(
+                shown,
+                columns=list(shown[0].keys()),
+                title="\nForecast costs and assignment",
+            )
+        )
+        if len(rows) > max_rows:
+            print(f"... ({len(rows) - max_rows} more tasks)")
+        print(
+            format_table(plan.worker_rows(), title="\nPlanned per-worker load")
+        )
+    else:
+        print("(no assignment yet — run the schedule stage)")
+
+
+def run_plan_command(argv=None) -> int:
+    """``python -m repro plan``: render fit/predict plans for a pool."""
+    from repro.core.suod import SUOD
+    from repro.data import make_outlier_dataset
+    from repro.detectors import sample_model_pool
+    from repro.pipeline import PlanRunner
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro plan",
+        description=(
+            "Compile a SUOD fit/predict pass into an ExecutionPlan and "
+            "print its stages, forecast costs, and worker assignment "
+            "(table or JSON). Fit plans stop after the schedule stage, "
+            "so nothing is trained unless --phase includes predict."
+        ),
+    )
+    parser.add_argument(
+        "--phase", choices=("fit", "predict", "both"), default="fit"
+    )
+    parser.add_argument(
+        "--format", dest="fmt", choices=("table", "json"), default="table"
+    )
+    parser.add_argument("--models", type=int, default=8, help="pool size m")
+    parser.add_argument("--n", type=int, default=600, help="synthetic rows")
+    parser.add_argument("--d", type=int, default=12, help="synthetic features")
+    parser.add_argument("--n-jobs", type=int, default=4, help="worker count t")
+    parser.add_argument("--backend", choices=_BACKENDS, default="threads")
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="row-chunk scoring grain"
+    )
+    parser.add_argument(
+        "--no-bps", action="store_true", help="use the generic contiguous split"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    X, _ = make_outlier_dataset(
+        n_samples=args.n,
+        n_features=args.d,
+        contamination=0.1,
+        random_state=args.seed,
+    )
+    pool = sample_model_pool(
+        args.models,
+        max_n_neighbors=max(2, min(50, args.n // 4)),
+        random_state=args.seed,
+    )
+    clf = SUOD(
+        pool,
+        n_jobs=args.n_jobs,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        bps_flag=not args.no_bps,
+        random_state=args.seed,
+    )
+    runner = PlanRunner()
+    plans: dict[str, object] = {}
+    if args.phase in ("fit", "both"):
+        fit_plan = clf.build_fit_plan(X)
+        runner.run(fit_plan, until="schedule")
+        plans["fit"] = fit_plan
+    if args.phase in ("predict", "both"):
+        if "fit" in plans:
+            runner.run(plans["fit"])  # resume the partial plan to completion
+        else:
+            clf.fit(X)
+        predict_plan = clf.build_predict_plan(X)
+        runner.run(predict_plan, until="schedule")
+        plans["predict"] = predict_plan
+
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                {kind: plan.to_dict() for kind, plan in plans.items()},
+                indent=2,
+            )
+        )
+        return 0
+    for kind, plan in plans.items():
+        estimators = (
+            clf.base_estimators_ if kind == "predict" else clf.base_estimators
+        )
+        _print_plan(kind, plan, estimators)
+    return 0
 
 
 def _print_experiment(name: str, cfg) -> None:
@@ -67,14 +207,23 @@ def _print_experiment(name: str, cfg) -> None:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "plan":
+        return run_plan_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the SUOD paper's tables and figures.",
+        description=(
+            "Regenerate the SUOD paper's tables and figures; "
+            "'plan' inspects fit/predict execution plans."
+        ),
     )
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["list", "all"],
-        help="experiment id ('list' to enumerate, 'all' to run everything)",
+        help=(
+            "experiment id ('list' to enumerate, 'all' to run everything; "
+            "see also the 'plan' subcommand)"
+        ),
     )
     parser.add_argument("--scale", type=float, help="dataset scale in (0, 1]")
     parser.add_argument("--max-n", type=int, help="sample cap per dataset")
@@ -85,6 +234,10 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name, (_, title) in sorted(EXPERIMENTS.items()):
             print(f"{name:14s} {title}")
+        print(
+            f"{'plan':14s} Inspect a fit/predict ExecutionPlan "
+            "(python -m repro plan --help)"
+        )
         return 0
 
     cfg = get_config()

@@ -17,7 +17,13 @@ from repro.combination import ecdf_standardise, moa
 from repro.core.cost import AnalyticCostModel
 from repro.core.scheduling import bps_schedule, generic_schedule
 from repro.core.suod import SUOD
-from repro.data import load_benchmark, make_claims_dataset, make_fig3_toy, train_test_split
+from repro.data import (
+    load_benchmark,
+    make_claims_dataset,
+    make_fig3_toy,
+    make_outlier_dataset,
+    train_test_split,
+)
 from repro.data.benchmark import TABLE_A1
 from repro.detectors import (
     ABOD,
@@ -30,6 +36,7 @@ from repro.detectors import (
 )
 from repro.metrics import makespan, precision_at_n, roc_auc_score
 from repro.parallel import WorkStealingBackend
+from repro.pipeline import PlanRunner
 from repro.projection import PROJECTION_METHODS, jl_target_dim, make_projector
 from repro.supervised import RandomForestRegressor
 
@@ -41,6 +48,7 @@ __all__ = [
     "run_fig3_decision_surface",
     "run_claims_case",
     "run_dynamic_scheduling",
+    "run_plan_overhead",
 ]
 
 
@@ -332,6 +340,80 @@ def run_dynamic_scheduling(
 
 
 # ---------------------------------------------------------------------------
+# Plan stage telemetry — per-stage wall times + planner overhead
+# ---------------------------------------------------------------------------
+def run_plan_overhead(
+    cfg: BenchConfig, *, n_jobs: int = 4, backend: str = "work_stealing"
+):
+    """Per-stage timings of a planned fit + predict pass.
+
+    Fits and scores a heterogeneous pool through the plan pipeline and
+    reports one row per (phase, stage) with its wall time and share of
+    the phase total, plus a ``(plan overhead)`` row per phase: the
+    phase's end-to-end wall time minus the summed stage walls — i.e. the
+    cost of the planner/executor machinery itself. ``overhead_pct``
+    states that overhead relative to the execute stage's makespan; the
+    refactor's contract is that it stays within noise (< 5%).
+    """
+    n = max(300, min(cfg.max_n, int(4000 * cfg.scale)))
+    X, _ = make_outlier_dataset(
+        n_samples=n, n_features=12, contamination=0.1, random_state=0
+    )
+    pool = sample_model_pool(
+        max(8, cfg.n_models // 2),
+        max_n_neighbors=_safe_k(n, 60),
+        random_state=3,
+    )
+    clf = SUOD(pool, n_jobs=n_jobs, backend=backend, random_state=0)
+    t0 = time.perf_counter()
+    clf.fit(X)
+    fit_total = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    clf.decision_function(X)
+    pred_total = time.perf_counter() - t0
+
+    rows = []
+    for phase, plan, total in (
+        ("fit", clf.fit_plan_, fit_total),
+        ("predict", clf.predict_plan_, pred_total),
+    ):
+        for report in plan.reports:
+            rows.append(
+                {
+                    "phase": phase,
+                    "stage": report.stage,
+                    "wall_s": report.wall_time,
+                    "share_pct": 100.0 * report.wall_time / total,
+                    "steals": report.total_steals,
+                }
+            )
+        stage_sum = plan.total_wall_time
+        exec_wall = plan.report_for("execute").wall_time
+        overhead = max(0.0, total - stage_sum)
+        rows.append(
+            {
+                "phase": phase,
+                "stage": "(plan overhead)",
+                "wall_s": overhead,
+                "share_pct": 100.0 * overhead / total,
+                "overhead_pct": 100.0 * overhead / max(exec_wall, 1e-12),
+            }
+        )
+    merged = clf.merged_telemetry()
+    meta = {
+        "config": cfg.describe(),
+        "n": n,
+        "m": len(pool),
+        "n_jobs": n_jobs,
+        "backend": backend,
+        "combined_wall": merged.wall_time,
+        "combined_steals": merged.total_steals,
+        "combined_idle": float(merged.idle_times.sum()),
+    }
+    return rows, meta
+
+
+# ---------------------------------------------------------------------------
 # Table 5 — full system
 # ---------------------------------------------------------------------------
 _T5_DATASETS = (
@@ -349,8 +431,22 @@ _T5_DATASETS = (
 
 
 def _combined_metrics(clf: SUOD, Xte, yte):
-    """Avg / MOA combination ROC and P@N on held-out data."""
-    M = clf.decision_function_matrix(Xte)
+    """Avg / MOA combination ROC and P@N on held-out data.
+
+    Consumes the predict *plan* directly: runs it up to the execute
+    stage (so the raw matrix is available before any combiner is fixed)
+    and reads the scoring wall time off the stage report instead of
+    re-implementing orchestration.
+    """
+    plan = clf.build_predict_plan(Xte)
+    try:
+        PlanRunner().run(plan, until="execute")
+        M = plan.context.matrix
+    finally:
+        # Keep the stage reports (Table 5 reads task_times off them) but
+        # drop Xte/spaces/matrix so looping over system variants does not
+        # pin every variant's arrays simultaneously.
+        plan.release_data()
     U = ecdf_standardise(M, ref=clf.train_score_matrix_)
     avg = U.mean(axis=0)
     m_oa = moa(U, n_buckets=min(5, U.shape[0]), standardise=False, random_state=0)
@@ -359,7 +455,7 @@ def _combined_metrics(clf: SUOD, Xte, yte):
     out["roc_moa"] = roc_auc_score(yte, m_oa)
     out["patn_avg"] = precision_at_n(yte, avg)
     out["patn_moa"] = precision_at_n(yte, m_oa)
-    return out, clf.predict_result_.wall_time
+    return out, plan.report_for("execute").execution.wall_time
 
 
 def run_table5_full_system(
@@ -400,9 +496,9 @@ def run_table5_full_system(
                 **flags,
             )
             clf.fit(Xtr)
-            fit_costs = clf.fit_result_.task_times
+            fit_costs = clf.fit_plan_.report_for("execute").execution.task_times
             metrics, _ = _combined_metrics(clf, Xte, yte)
-            pred_costs = clf.predict_result_.task_times
+            pred_costs = clf.predict_plan_.report_for("execute").execution.task_times
             forecast = cost_model.forecast(clf.base_estimators_, Xtr)
             per_system[label] = (clf, fit_costs, pred_costs, forecast, metrics)
 

@@ -44,6 +44,32 @@ def _check_mt(m: int, n_workers: int) -> None:
         raise ValueError("n_workers must be >= 1")
 
 
+def _degenerate_assignment(weights: np.ndarray, n_workers: int) -> np.ndarray | None:
+    """Shared edge-case policy for every partitioning engine.
+
+    Returns an assignment for inputs where cost-aware partitioning has
+    nothing to work with, or ``None`` for the general case:
+
+    - empty pools -> empty assignment;
+    - single worker -> all zeros;
+    - constant weights (including the all-zero forecast of a cold cost
+      model) -> balanced round-robin, so no engine may idle a worker or
+      pile a whole uniform pool onto worker 0.
+
+    Round-robin also pins the ``m < n_workers`` contract: with constant
+    weights each of the m tasks lands on its own worker, matching what
+    LPT/KK already guarantee for distinct weights.
+    """
+    m = weights.size
+    if m == 0:
+        return np.zeros(0, dtype=np.int64)
+    if n_workers == 1:
+        return np.zeros(m, dtype=np.int64)
+    if np.all(weights == weights[0]):
+        return np.arange(m, dtype=np.int64) % n_workers
+    return None
+
+
 def generic_schedule(m: int, n_workers: int) -> np.ndarray:
     """Contiguous equal-count split by order (the paper's baseline).
 
@@ -99,6 +125,9 @@ def lpt_partition(weights, n_workers: int) -> np.ndarray:
     _check_mt(weights.size, n_workers)
     if (weights < 0).any():
         raise ValueError("weights must be non-negative")
+    degenerate = _degenerate_assignment(weights, n_workers)
+    if degenerate is not None:
+        return degenerate
     assignment = np.zeros(weights.size, dtype=np.int64)
     heap = [(0.0, w) for w in range(n_workers)]
     heapq.heapify(heap)
@@ -121,10 +150,9 @@ def karmarkar_karp_partition(weights, n_workers: int) -> np.ndarray:
     _check_mt(m, n_workers)
     if (weights < 0).any():
         raise ValueError("weights must be non-negative")
-    if m == 0:
-        return np.zeros(0, dtype=np.int64)
-    if n_workers == 1:
-        return np.zeros(m, dtype=np.int64)
+    degenerate = _degenerate_assignment(weights, n_workers)
+    if degenerate is not None:
+        return degenerate
 
     counter = itertools.count()
     # Heap entries: (-spread, tiebreak, loads sorted desc, buckets) where

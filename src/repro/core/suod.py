@@ -14,6 +14,22 @@ pool of base detectors:
 
 Every flag can be toggled independently, so the baseline of Table 5
 (``rp=False, approx=False, bps=False``) runs on identical machinery.
+
+Architecturally, :class:`SUOD` is a thin façade over
+:mod:`repro.pipeline`: ``fit`` and ``decision_function`` each *compile*
+an :class:`~repro.pipeline.ExecutionPlan` of stages —
+
+    project -> forecast -> schedule -> execute -> approximate -> combine
+
+— and hand it to a :class:`~repro.pipeline.PlanRunner`, the single
+execution path shared by every backend. ``build_fit_plan`` /
+``build_predict_plan`` expose the plans directly (the ``repro plan``
+CLI renders them; partial runs preview forecast costs and the chosen
+assignment without fitting anything). Stage-level telemetry lands in
+``fit_plan_`` / ``predict_plan_``; plans and the ``fit_result_`` /
+``predict_result_`` execution results are ephemeral run artefacts
+and are deliberately excluded from pickles (see
+:mod:`repro.utils.persistence` for ensemble round-tripping).
 """
 
 from __future__ import annotations
@@ -29,7 +45,13 @@ from repro.core.cost import AnalyticCostModel
 from repro.core.scheduling import bps_schedule, generic_schedule
 from repro.detectors.base import BaseDetector
 from repro.detectors.registry import family_of, is_costly
-from repro.parallel import chunk_slices, get_backend, scatter_chunk_results
+from repro.parallel import (
+    ExecutionResult,
+    chunk_slices,
+    get_backend,
+    scatter_chunk_results,
+)
+from repro.pipeline import ExecutionPlan, PlanContext, PlanRunner, Stage
 from repro.projection import JLProjector, NoProjection, jl_target_dim
 from repro.utils.random import check_random_state, spawn_seeds
 from repro.utils.validation import check_array, check_is_fitted
@@ -126,6 +148,9 @@ class SUOD:
     approx_flags_ : (m,) bool array — PSA actually applied per model
     fit_assignment_ : (m,) int array — worker of each model during fit
     fit_result_ : repro.parallel.ExecutionResult of the fit phase
+    fit_plan_ : repro.pipeline.ExecutionPlan of the last fit pass
+    predict_result_ : ExecutionResult of the last scoring pass
+    predict_plan_ : ExecutionPlan of the last scoring pass
     train_score_matrix_ : (m, n) raw train scores per model
     decision_scores_, threshold_, labels_ : combined train outputs
     """
@@ -202,9 +227,13 @@ class SUOD:
             return get_backend("sequential")
         return get_backend(self.backend, n_workers=self.n_jobs)
 
-    def _forecast(self, models, X) -> np.ndarray:
-        predictor = self.cost_predictor or AnalyticCostModel()
-        return np.asarray(predictor.forecast(models, X), dtype=np.float64)
+    @property
+    def _effective_backend(self) -> str:
+        return "sequential" if self.n_jobs == 1 else self.backend
+
+    def _cost_predictor(self):
+        """The single selection point for the active cost predictor."""
+        return self.cost_predictor or AnalyticCostModel()
 
     def _schedule_costs(self, n_tasks: int, costs: np.ndarray | None) -> np.ndarray:
         """Assignment for ``n_tasks`` tasks from optional forecast costs."""
@@ -214,21 +243,204 @@ class SUOD:
             return generic_schedule(n_tasks, self.n_jobs)
         return bps_schedule(costs, self.n_jobs)
 
-    def _schedule(self, models, X) -> np.ndarray:
-        if self.n_jobs == 1 or not self.bps_flag:
-            return self._schedule_costs(len(models), None)
-        return self._schedule_costs(len(models), self._forecast(models, X))
-
     # ------------------------------------------------------------------
-    def fit(self, X, y=None) -> "SUOD":
-        """Fit the heterogeneous pool (Algorithm 1, training phase)."""
-        X = check_array(X, name="X")
-        n, d = X.shape
-        rng = check_random_state(self.random_state)
-        m = self.n_models
-        seeds = spawn_seeds(rng, 2 * m)
+    # Plan compilation — the façade's whole job. Stages communicate via
+    # the PlanContext; fitted state lands on ``self`` exactly as the
+    # monolithic fit/predict bodies used to leave it.
+    # ------------------------------------------------------------------
+    def _plan_meta(self, *, grain: str, n_tasks: int) -> dict:
+        return {
+            "backend": self._effective_backend,
+            "n_jobs": self.n_jobs,
+            "n_models": self.n_models,
+            "grain": grain,
+            "n_tasks": n_tasks,
+            "bps": self.bps_flag,
+            "batch_size": self.batch_size,
+        }
 
-        # -- RP: per-model feature spaces (Algorithm 1 lines 1-8) -------
+    def build_fit_plan(self, X) -> ExecutionPlan:
+        """Compile the training pass into an inspectable ExecutionPlan.
+
+        Running the returned plan (via :class:`PlanRunner`) *is* fitting
+        this estimator: stages write fitted attributes onto ``self``.
+        A partial run (``until='schedule'``) computes only forecast
+        costs and the worker assignment — nothing is trained.
+        """
+        X = check_array(X, name="X")
+        ctx = PlanContext(
+            X=X,
+            models=self.base_estimators,
+            rng=check_random_state(self.random_state),
+            owners=None,
+            n_tasks=self.n_models,
+        )
+        stages = [
+            Stage(
+                "project",
+                self._fit_stage_project,
+                "fit per-model JL projectors; transform X into model spaces",
+            ),
+            Stage(
+                "forecast",
+                self._stage_forecast,
+                "forecast per-task costs (analytic or learned predictor)",
+            ),
+            Stage(
+                "schedule",
+                self._stage_schedule,
+                "map tasks to workers (BPS rank balancing or generic split)",
+            ),
+            Stage(
+                "execute",
+                self._fit_stage_execute,
+                "fit all detectors through the parallel backend",
+            ),
+            Stage(
+                "approximate",
+                self._fit_stage_approximate,
+                "train pseudo-supervised approximators for costly models",
+            ),
+            Stage(
+                "combine",
+                self._fit_stage_combine,
+                "standardise + combine train scores; set threshold/labels",
+            ),
+        ]
+        plan = ExecutionPlan(
+            kind="fit",
+            stages=stages,
+            context=ctx,
+            meta=self._plan_meta(grain="model", n_tasks=self.n_models),
+        )
+        self.fit_plan_ = plan
+        return plan
+
+    def build_predict_plan(self, X) -> ExecutionPlan:
+        """Compile a scoring pass over ``X`` into an ExecutionPlan.
+
+        Requires a fitted estimator. With ``batch_size`` set and more
+        rows than the batch, the task grain becomes (model × row-chunk);
+        forecast costs are scaled by each chunk's row fraction so BPS
+        ranks stay meaningful at the finer grain.
+        """
+        check_is_fitted(self, "base_estimators_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        n = X.shape[0]
+        chunked = self.batch_size is not None and n > self.batch_size
+        if chunked:
+            slices = chunk_slices(n, self.batch_size)
+            owners = [(i, sl) for i in range(self.n_models) for sl in slices]
+        else:
+            slices, owners = None, None
+        n_tasks = len(owners) if chunked else self.n_models
+        ctx = PlanContext(
+            X=X,
+            models=self.base_estimators_,
+            owners=owners,
+            slices=slices,
+            n_tasks=n_tasks,
+        )
+        stages = [
+            Stage(
+                "project",
+                self._predict_stage_project,
+                "transform X through the fitted projectors",
+            ),
+            Stage(
+                "forecast",
+                self._stage_forecast,
+                "forecast per-task costs (analytic or learned predictor)",
+            ),
+            Stage(
+                "schedule",
+                self._stage_schedule,
+                "map tasks to workers (BPS rank balancing or generic split)",
+            ),
+            Stage(
+                "execute",
+                self._predict_stage_execute,
+                "score every task through the parallel backend; gather matrix",
+            ),
+            Stage(
+                "combine",
+                self._predict_stage_combine,
+                "standardise against train scores; combine into one score",
+            ),
+        ]
+        plan = ExecutionPlan(
+            kind="predict",
+            stages=stages,
+            context=ctx,
+            meta=self._plan_meta(
+                grain="model x chunk" if chunked else "model", n_tasks=n_tasks
+            ),
+        )
+        self.predict_plan_ = plan
+        return plan
+
+    # -- shared stages --------------------------------------------------
+    def _stage_forecast(self, ctx: PlanContext) -> dict:
+        """Per-task cost forecasts (skipped exactly when scheduling
+        cannot use them, so an untrained CostPredictor with n_jobs=1
+        keeps working as before)."""
+        if self.n_jobs == 1 or not self.bps_flag:
+            ctx.model_costs = None
+            ctx.costs = None
+            reason = "n_jobs == 1" if self.n_jobs == 1 else "bps disabled"
+            return {"forecast": "skipped", "reason": reason}
+        predictor = self._cost_predictor()
+        model_costs = np.asarray(
+            predictor.forecast(ctx.models, ctx.X), dtype=np.float64
+        )
+        ctx.model_costs = model_costs
+        if ctx.owners is not None:
+            n = ctx.X.shape[0]
+            ctx.costs = np.array(
+                [
+                    model_costs[i] * (sl.stop - sl.start) / n
+                    for i, sl in ctx.owners
+                ]
+            )
+        else:
+            ctx.costs = model_costs
+        return {
+            "predictor": type(predictor).__name__,
+            "total_cost": float(ctx.costs.sum()),
+            "max_cost": float(ctx.costs.max(initial=0.0)),
+        }
+
+    def _stage_schedule(self, ctx: PlanContext) -> dict:
+        ctx.assignment = self._schedule_costs(ctx.n_tasks, ctx.costs)
+        if self.n_jobs == 1:
+            policy = "single-worker"
+        elif self.bps_flag and ctx.costs is not None:
+            policy = "bps"
+        else:
+            policy = "generic"
+        counts = np.bincount(ctx.assignment, minlength=self.n_jobs)
+        return {
+            "policy": policy,
+            "n_tasks": int(ctx.n_tasks),
+            "tasks_per_worker": counts.tolist(),
+        }
+
+    # -- fit stages ------------------------------------------------------
+    def _fit_stage_project(self, ctx: PlanContext) -> dict:
+        """RP: per-model feature spaces (Algorithm 1 lines 1-8)."""
+        X = ctx.X
+        n, d = X.shape
+        m = self.n_models
+        # Seeds are drawn once per plan and cached on the context, so a
+        # reset() + re-run replays the exact same projectors and
+        # estimator seeds instead of advancing the stateful Generator.
+        if "rng_seeds" not in ctx:
+            ctx.rng_seeds = spawn_seeds(ctx.rng, 2 * m)
+        seeds = ctx.rng_seeds
         k = jl_target_dim(d, self.rp_target_fraction)
         rp_flags = np.zeros(m, dtype=bool)
         projectors = []
@@ -247,7 +459,7 @@ class SUOD:
                 else NoProjection()
             )
             projectors.append(proj.fit(X))
-        spaces = [proj.transform(X) for proj in projectors]
+        ctx.spaces = [proj.transform(X) for proj in projectors]
         self._log(
             f"RP: {int(rp_flags.sum())}/{m} models projected to k={k} "
             f"({self.rp_method})"
@@ -258,25 +470,67 @@ class SUOD:
             if hasattr(est, "random_state") and est.random_state is None:
                 est.random_state = seeds[m + i]
 
-        # -- BPS + execution (Algorithm 1 lines 9-13) --------------------
-        assignment = self._schedule(self.base_estimators, X)
-        tasks = [
-            functools.partial(_fit_one, est, spaces[i])
-            for i, est in enumerate(self.base_estimators)
-        ]
-        backend = self._make_backend()
-        result = backend.execute(tasks, assignment)
-        result.raise_first_error()
-        self.base_estimators_ = list(result.results)
-        self.fit_assignment_ = assignment
-        self.fit_result_ = result
-        self._log(f"fit wall time: {result.wall_time:.3f}s")
-
         self.projectors_ = projectors
         self.rp_flags_ = rp_flags
         self.n_features_in_ = d
+        return {
+            "k": int(k),
+            "n_projected": int(rp_flags.sum()),
+            "rp_method": self.rp_method,
+        }
 
-        # -- train score matrix + combination ----------------------------
+    def _fit_stage_execute(self, ctx: PlanContext) -> dict:
+        """BPS + execution (Algorithm 1 lines 9-13)."""
+        tasks = [
+            functools.partial(_fit_one, est, ctx.spaces[i])
+            for i, est in enumerate(self.base_estimators)
+        ]
+        backend = self._make_backend()
+        result = backend.execute(tasks, ctx.assignment)
+        result.raise_first_error()
+        self.base_estimators_ = list(result.results)
+        self.fit_assignment_ = ctx.assignment
+        self.fit_result_ = result
+        ctx.result = result
+        self._log(f"fit wall time: {result.wall_time:.3f}s")
+        return {"backend": self._effective_backend, "execution": result}
+
+    def _fit_stage_approximate(self, ctx: PlanContext) -> dict:
+        """PSA (Algorithm 1 lines 15-22)."""
+        m = self.n_models
+        if self.approx_flag_global:
+            flags = [is_costly(est) for est in self.base_estimators_]
+            regressor = self.approx_clf
+            if regressor is None:
+                from repro.supervised import RandomForestRegressor
+
+                # Seed the default approximator so the whole pipeline is
+                # reproducible under a fixed random_state; cached on the
+                # context so reset() + re-run replays identically.
+                if "approx_seed" not in ctx:
+                    ctx.approx_seed = spawn_seeds(ctx.rng, 1)[0]
+                regressor = RandomForestRegressor(random_state=ctx.approx_seed)
+            self.approximators_ = fit_approximators(
+                self.base_estimators_,
+                ctx.spaces,
+                regressor=regressor,
+                approx_flags=flags,
+            )
+            self.approx_flags_ = np.array(
+                [a.approximated for a in self.approximators_]
+            )
+            self._log(
+                f"PSA: {int(self.approx_flags_.sum())}/{m} models approximated"
+            )
+        else:
+            self.approximators_ = [
+                Approximator(est, enabled=False)
+                for est in self.base_estimators_
+            ]
+            self.approx_flags_ = np.zeros(m, dtype=bool)
+        return {"n_approximated": int(self.approx_flags_.sum())}
+
+    def _fit_stage_combine(self, ctx: PlanContext) -> dict:
         self.train_score_matrix_ = np.stack(
             [est.decision_scores_ for est in self.base_estimators_]
         )
@@ -286,35 +540,69 @@ class SUOD:
             np.quantile(self.decision_scores_, 1.0 - self.contamination)
         )
         self.labels_ = (self.decision_scores_ > self.threshold_).astype(np.int64)
+        return {
+            "combination": self.combination,
+            "standardisation": self.standardisation,
+            "threshold": self.threshold_,
+        }
 
-        # -- PSA (Algorithm 1 lines 15-22) --------------------------------
-        if self.approx_flag_global:
-            flags = [is_costly(est) for est in self.base_estimators_]
-            regressor = self.approx_clf
-            if regressor is None:
-                from repro.supervised import RandomForestRegressor
+    # -- predict stages --------------------------------------------------
+    def _predict_stage_project(self, ctx: PlanContext) -> dict:
+        ctx.spaces = [proj.transform(ctx.X) for proj in self.projectors_]
+        return {"n_projected": int(self.rp_flags_.sum())}
 
-                # Seed the default approximator so the whole pipeline is
-                # reproducible under a fixed random_state.
-                regressor = RandomForestRegressor(
-                    random_state=spawn_seeds(rng, 1)[0]
+    def _predict_stage_execute(self, ctx: PlanContext) -> dict:
+        if ctx.owners is not None:
+            tasks = [
+                functools.partial(
+                    _score_one, self.approximators_[i], ctx.spaces[i][sl]
                 )
-            self.approximators_ = fit_approximators(
-                self.base_estimators_,
-                spaces,
-                regressor=regressor,
-                approx_flags=flags,
-            )
-            self.approx_flags_ = np.array(
-                [a.approximated for a in self.approximators_]
-            )
-            self._log(f"PSA: {int(self.approx_flags_.sum())}/{m} models approximated")
-        else:
-            self.approximators_ = [
-                Approximator(est, enabled=False)
-                for est in self.base_estimators_
+                for i, sl in ctx.owners
             ]
-            self.approx_flags_ = np.zeros(m, dtype=bool)
+        else:
+            tasks = [
+                functools.partial(_score_one, approx, ctx.spaces[i])
+                for i, approx in enumerate(self.approximators_)
+            ]
+        backend = self._make_backend()
+        result = backend.execute(tasks, ctx.assignment)
+        result.raise_first_error()
+        self.predict_result_ = result
+        ctx.result = result
+        n = ctx.X.shape[0]
+        if ctx.owners is not None:
+            ctx.matrix = scatter_chunk_results(
+                result.results, ctx.owners, self.n_models, n
+            )
+            self._log(
+                f"chunked scoring: {self.n_models} models x "
+                f"{len(ctx.slices)} chunks (batch_size={self.batch_size}), "
+                f"wall {result.wall_time:.3f}s"
+            )
+        else:
+            ctx.matrix = np.stack(result.results)
+        return {"backend": self._effective_backend, "execution": result}
+
+    def _predict_stage_combine(self, ctx: PlanContext) -> dict:
+        std = self._standardise(ctx.matrix, ref=self.train_score_matrix_)
+        ctx.scores = self._combine_pre(std)
+        return {
+            "combination": self.combination,
+            "standardisation": self.standardisation,
+        }
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y=None) -> "SUOD":
+        """Fit the heterogeneous pool (Algorithm 1, training phase)."""
+        plan = self.build_fit_plan(X)
+        try:
+            PlanRunner(verbose=False).run(plan)
+        finally:
+            # The plan stays inspectable on fit_plan_, but its copies of
+            # X and the projected spaces are dropped — also when a stage
+            # raises — so a long-lived estimator never pins the training
+            # set in memory.
+            plan.release_data()
         return self
 
     # ------------------------------------------------------------------
@@ -345,61 +633,12 @@ class SUOD:
         all rows in one task. Either way, the returned matrix is
         identical — chunking changes the execution grain only.
         """
-        check_is_fitted(self, "base_estimators_")
-        X = check_array(X, name="X")
-        if X.shape[1] != self.n_features_in_:
-            raise ValueError(
-                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
-            )
-        n = X.shape[0]
-        spaces = [proj.transform(X) for proj in self.projectors_]
-        if self.batch_size is not None and n > self.batch_size:
-            return self._score_chunked(X, spaces, n)
-        assignment = self._schedule(self.base_estimators_, X)
-        tasks = [
-            functools.partial(_score_one, approx, spaces[i])
-            for i, approx in enumerate(self.approximators_)
-        ]
-        backend = self._make_backend()
-        result = backend.execute(tasks, assignment)
-        result.raise_first_error()
-        self.predict_result_ = result
-        return np.stack(result.results)
-
-    def _score_chunked(self, X, spaces, n: int) -> np.ndarray:
-        """Score via (model × chunk) tasks and reassemble the matrix.
-
-        Per-task forecast cost is the model's forecast scaled by the
-        chunk's row fraction, so BPS ranks stay meaningful at the finer
-        grain. Projection happened once on the full ``X`` (chunks are
-        views of the projected spaces), which is what makes chunked and
-        unchunked scores bitwise-equal.
-        """
-        slices = chunk_slices(n, self.batch_size)
-        owners = [
-            (i, sl) for i in range(self.n_models) for sl in slices
-        ]
-        tasks = [
-            functools.partial(_score_one, self.approximators_[i], spaces[i][sl])
-            for i, sl in owners
-        ]
-        if self.n_jobs > 1 and self.bps_flag:
-            model_costs = self._forecast(self.base_estimators_, X)
-            costs = np.array(
-                [model_costs[i] * (sl.stop - sl.start) / n for i, sl in owners]
-            )
-        else:
-            costs = None
-        assignment = self._schedule_costs(len(tasks), costs)
-        backend = self._make_backend()
-        result = backend.execute(tasks, assignment)
-        result.raise_first_error()
-        self.predict_result_ = result
-        self._log(
-            f"chunked scoring: {self.n_models} models x {len(slices)} chunks "
-            f"(batch_size={self.batch_size}), wall {result.wall_time:.3f}s"
-        )
-        return scatter_chunk_results(result.results, owners, self.n_models, n)
+        plan = self.build_predict_plan(X)
+        try:
+            PlanRunner(verbose=False).run(plan, until="execute")
+            return plan.context.matrix
+        finally:
+            plan.release_data()
 
     def decision_function(self, X) -> np.ndarray:
         """Combined outlyingness of new samples (larger = more outlying).
@@ -408,9 +647,12 @@ class SUOD:
         distribution before combination, so heterogeneous scales stay
         comparable between train and test.
         """
-        matrix = self.decision_function_matrix(X)
-        matrix = self._standardise(matrix, ref=self.train_score_matrix_)
-        return self._combine_pre(matrix)
+        plan = self.build_predict_plan(X)
+        try:
+            PlanRunner(verbose=False).run(plan)
+            return plan.context.scores
+        finally:
+            plan.release_data()
 
     def predict(self, X) -> np.ndarray:
         """Binary labels on new samples (1 = outlier).
@@ -423,6 +665,30 @@ class SUOD:
     def fit_predict(self, X, y=None) -> np.ndarray:
         """Fit and return training labels."""
         return self.fit(X).labels_
+
+    # ------------------------------------------------------------------
+    def merged_telemetry(self) -> ExecutionResult:
+        """One combined wall-time/steal/idle summary over the last
+        fit + predict executions (see :meth:`ExecutionResult.merge`)."""
+        parts = [
+            r
+            for r in (
+                getattr(self, "fit_result_", None),
+                getattr(self, "predict_result_", None),
+            )
+            if r is not None
+        ]
+        return ExecutionResult.merge(parts)
+
+    def __getstate__(self):
+        # Plans and ExecutionResults are run telemetry, not model state:
+        # predict_result_.results holds the per-task score arrays of the
+        # last scored batch, so keeping it would make pickles scale with
+        # whatever X was scored last. Pickles must not drag data along.
+        state = self.__dict__.copy()
+        for key in ("fit_plan_", "predict_plan_", "fit_result_", "predict_result_"):
+            state.pop(key, None)
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from repro.detectors.abod import ABOD
 from repro.detectors.base import BaseDetector
 from repro.detectors.cblof import CBLOF

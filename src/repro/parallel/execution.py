@@ -82,6 +82,41 @@ class ExecutionResult:
             if isinstance(r, BaseException):
                 raise r
 
+    @classmethod
+    def merge(cls, results: Sequence["ExecutionResult"]) -> "ExecutionResult":
+        """Combine results of sequential phases into one summary.
+
+        Wall times add (the phases ran one after another); per-worker
+        arrays are zero-padded to the widest worker count and summed, so
+        a fit + predict pair reports one wall-time / steal / idle
+        balance sheet. An empty input merges to a neutral zero result.
+        """
+        results = list(results)
+        if not results:
+            return cls(results=[], worker_times=np.zeros(0))
+
+        def _padded_sum(arrays: list[np.ndarray], dtype) -> np.ndarray:
+            width = max((a.size for a in arrays), default=0)
+            out = np.zeros(width, dtype=dtype)
+            for a in arrays:
+                out[: a.size] += a
+            return out
+
+        return cls(
+            results=[r for res in results for r in res.results],
+            wall_time=float(sum(r.wall_time for r in results)),
+            worker_times=_padded_sum(
+                [r.worker_times for r in results], np.float64
+            ),
+            task_times=np.concatenate([r.task_times for r in results])
+            if any(r.task_times.size for r in results)
+            else np.zeros(0),
+            idle_times=_padded_sum([r.idle_times for r in results], np.float64),
+            steal_counts=_padded_sum(
+                [r.steal_counts for r in results], np.int64
+            ),
+        )
+
 
 def _check_assignment(n_tasks: int, assignment, n_workers: int) -> np.ndarray:
     a = np.asarray(assignment, dtype=np.int64)

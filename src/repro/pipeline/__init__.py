@@ -1,0 +1,34 @@
+"""Planner/executor layer: fit & predict as explicit stage pipelines.
+
+The MLSys argument (and this repo's north star) is that ML-system
+leverage lives in explicit, composable execution layers. This package is
+that layer for SUOD:
+
+- :class:`Stage` — a named, documented step over a shared context;
+- :class:`ExecutionPlan` — an ordered stage program (project → forecast
+  → schedule → execute → approximate → combine) with build-time
+  metadata, renderable as table or JSON before anything runs;
+- :class:`PlanRunner` — the single loop every backend runs through,
+  with resume/partial-execution semantics;
+- :class:`StageReport` — per-stage wall time plus worker-load /
+  steal / idle telemetry folded up from
+  :class:`~repro.parallel.ExecutionResult`.
+
+:class:`repro.SUOD` is a façade over this package: its ``fit`` /
+``decision_function`` compile plans via ``build_fit_plan`` /
+``build_predict_plan`` and hand them to a runner. Downstream consumers
+(CLI ``repro plan``, benchmark runners, serving/sharding work) operate
+on the plan objects instead of re-implementing orchestration.
+"""
+
+from repro.pipeline.plan import ExecutionPlan, PlanContext
+from repro.pipeline.runner import PlanRunner
+from repro.pipeline.stage import Stage, StageReport
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanContext",
+    "PlanRunner",
+    "Stage",
+    "StageReport",
+]

@@ -1,0 +1,82 @@
+"""The single execution path for every plan, on every backend.
+
+:class:`PlanRunner` walks a plan's stages in order, skipping stages that
+already carry a report (resume semantics), timing each one, and folding
+any :class:`~repro.parallel.ExecutionResult` a stage produced into its
+:class:`~repro.pipeline.stage.StageReport`. All SUOD passes — fit and
+predict, sequential through work-stealing — flow through this one loop,
+so backend behaviour and telemetry cannot drift between call sites.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.parallel.execution import ExecutionResult
+from repro.pipeline.plan import ExecutionPlan, PlanContext
+from repro.pipeline.stage import StageReport
+
+__all__ = ["PlanRunner"]
+
+
+class PlanRunner:
+    """Sequences a plan's stages; records a StageReport per stage.
+
+    Parameters
+    ----------
+    verbose : bool, default False
+        Print a one-line summary per completed stage.
+    """
+
+    def __init__(self, *, verbose: bool = False):
+        self.verbose = verbose
+
+    def run(self, plan: ExecutionPlan, *, until: str | None = None) -> PlanContext:
+        """Execute pending stages in order, stopping after ``until``.
+
+        Stages that already have a report are skipped, so calling ``run``
+        again on a partially executed plan resumes it. Returns the plan's
+        context; telemetry accumulates in ``plan.reports``.
+        """
+        if until is not None and until not in plan.stage_names:
+            raise ValueError(
+                f"unknown stage {until!r}; plan has {plan.stage_names}"
+            )
+        if getattr(plan, "_released", False) and not plan.is_complete:
+            raise RuntimeError(
+                "plan context was released; build a new plan to run it"
+            )
+        done = set(plan.completed)
+        for stage in plan.stages:
+            if stage.name in done:
+                if stage.name == until:
+                    break
+                continue
+            t0 = time.perf_counter()
+            info = stage.run(plan.context) or {}
+            wall = time.perf_counter() - t0
+            if not isinstance(info, dict):
+                raise TypeError(
+                    f"stage {stage.name!r} must return a dict or None, "
+                    f"got {type(info)}"
+                )
+            execution = info.pop("execution", None)
+            if execution is not None and not isinstance(execution, ExecutionResult):
+                raise TypeError(
+                    f"stage {stage.name!r} returned a non-ExecutionResult "
+                    f"under 'execution': {type(execution)}"
+                )
+            plan.reports.append(
+                StageReport(
+                    stage=stage.name,
+                    wall_time=wall,
+                    info=info,
+                    execution=execution,
+                )
+            )
+            if self.verbose:
+                extra = f" {info}" if info else ""
+                print(f"[plan:{plan.kind}] {stage.name}: {wall:.4f}s{extra}")
+            if stage.name == until:
+                break
+        return plan.context

@@ -11,6 +11,12 @@ from repro.utils.validation import (
     check_is_fitted,
     column_or_1d,
 )
+from repro.utils.persistence import (
+    load_ensemble,
+    load_model,
+    save_ensemble,
+    save_model,
+)
 from repro.utils.random import check_random_state, spawn_seeds
 from repro.utils.scaling import StandardScaler, MinMaxScaler
 from repro.utils.distances import (
@@ -26,6 +32,10 @@ __all__ = [
     "column_or_1d",
     "check_random_state",
     "spawn_seeds",
+    "save_model",
+    "load_model",
+    "save_ensemble",
+    "load_ensemble",
     "StandardScaler",
     "MinMaxScaler",
     "pairwise_distances",

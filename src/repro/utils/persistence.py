@@ -1,10 +1,22 @@
-"""Model persistence: save/load fitted estimators.
+"""Model persistence: save/load fitted estimators and SUOD ensembles.
 
 Deployment use (§4.5): a SUOD system is fitted offline and reused to
 score claim batches for months. Pickle suffices because all estimator
 state is plain Python + NumPy; the helpers add versioning and an
 integrity check so silent library-version drift fails loudly instead of
 producing subtly wrong scores.
+
+Two levels of helper:
+
+- :func:`save_model` / :func:`load_model` — any single estimator
+  (fitted or not) behind a magic + format-version header;
+- :func:`save_ensemble` / :func:`load_ensemble` — a *fitted*
+  :class:`repro.SUOD` with everything prediction needs (projectors,
+  approximators, train-score reference, threshold, and the fitted cost
+  predictor if one was supplied) behind a schema-versioned header plus
+  a structural manifest. Loading a file written under a different
+  ensemble schema version fails with an error naming both versions;
+  reloaded ensembles reproduce scores bitwise.
 """
 
 from __future__ import annotations
@@ -12,10 +24,22 @@ from __future__ import annotations
 import pickle
 from pathlib import Path
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "save_ensemble", "load_ensemble"]
 
 _MAGIC = "repro-model"
 _FORMAT_VERSION = 1
+
+_ENSEMBLE_MAGIC = "repro-ensemble"
+# Bump whenever the persisted SUOD attribute layout changes shape.
+ENSEMBLE_SCHEMA_VERSION = 1
+
+
+def _read_payload(path: Path, magic: str, kind: str) -> dict:
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    if not isinstance(payload, dict) or payload.get("magic") != magic:
+        raise ValueError(f"{path} is not a {kind} file")
+    return payload
 
 
 def save_model(model, path) -> Path:
@@ -45,10 +69,7 @@ def load_model(path):
     (forward compatibility is not promised; backward is).
     """
     path = Path(path)
-    with open(path, "rb") as fh:
-        payload = pickle.load(fh)
-    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
-        raise ValueError(f"{path} is not a repro model file")
+    payload = _read_payload(path, _MAGIC, "repro model")
     version = payload.get("format_version")
     if not isinstance(version, int) or version > _FORMAT_VERSION:
         raise ValueError(
@@ -56,3 +77,85 @@ def load_model(path):
             f"<= {_FORMAT_VERSION}"
         )
     return payload["model"]
+
+
+def _ensemble_manifest(model) -> dict:
+    """Structural facts checked on load (corruption / drift tripwire)."""
+    from repro.detectors.registry import family_of
+
+    return {
+        "n_models": len(model.base_estimators_),
+        "n_features_in": int(model.n_features_in_),
+        "families": [family_of(est) for est in model.base_estimators_],
+        "n_projected": int(model.rp_flags_.sum()),
+        "n_approximated": int(model.approx_flags_.sum()),
+        "has_cost_predictor": model.cost_predictor is not None,
+        "combination": model.combination,
+        "standardisation": model.standardisation,
+    }
+
+
+def save_ensemble(model, path) -> Path:
+    """Serialise a *fitted* :class:`repro.SUOD` ensemble to ``path``.
+
+    Everything prediction needs rides along: fitted detectors, the
+    per-model projectors, the PSA approximators, the train-score
+    reference matrix, the threshold, and the fitted cost predictor (if
+    one was passed) — so a reloaded ensemble schedules and scores
+    identically. Run telemetry (plans, execution results) is excluded
+    by ``SUOD.__getstate__``; training data never enters the file.
+
+    Raises ``TypeError`` for non-SUOD inputs and ``ValueError`` for an
+    unfitted ensemble.
+    """
+    import repro
+    from repro.core.suod import SUOD
+
+    if not isinstance(model, SUOD):
+        raise TypeError(
+            f"save_ensemble expects a repro.SUOD, got {type(model).__name__}; "
+            "use save_model for single estimators"
+        )
+    if not hasattr(model, "base_estimators_"):
+        raise ValueError(
+            "save_ensemble requires a fitted SUOD (call fit first)"
+        )
+    path = Path(path)
+    payload = {
+        "magic": _ENSEMBLE_MAGIC,
+        "schema_version": ENSEMBLE_SCHEMA_VERSION,
+        "library_version": repro.__version__,
+        "manifest": _ensemble_manifest(model),
+        "model": model,
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_ensemble(path):
+    """Load a fitted SUOD saved with :func:`save_ensemble`.
+
+    Schema versioning is strict: a file written under any *different*
+    schema version raises ``ValueError`` naming both versions (an
+    ensemble is deployed state, so a silent partial load would mean
+    silently wrong scores). The structural manifest written at save
+    time is re-derived from the loaded object and must match exactly.
+    """
+    path = Path(path)
+    payload = _read_payload(path, _ENSEMBLE_MAGIC, "repro ensemble")
+    version = payload.get("schema_version")
+    if version != ENSEMBLE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} was saved with ensemble schema version {version}; "
+            f"this library reads exactly version {ENSEMBLE_SCHEMA_VERSION}. "
+            "Re-save the ensemble with a matching library."
+        )
+    model = payload["model"]
+    manifest = payload.get("manifest")
+    if manifest != _ensemble_manifest(model):
+        raise ValueError(
+            f"{path} failed its integrity check: the stored manifest does "
+            "not match the loaded ensemble (truncated or tampered file?)"
+        )
+    return model

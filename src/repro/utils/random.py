@@ -34,7 +34,7 @@ def check_random_state(random_state) -> np.random.Generator:
         seed = random_state.randint(0, _MAX_SEED)
         return np.random.default_rng(seed)
     raise ValueError(
-        f"random_state must be None, an int, a numpy Generator or "
+        "random_state must be None, an int, a numpy Generator or "
         f"RandomState; got {type(random_state)}"
     )
 

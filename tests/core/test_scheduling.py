@@ -126,6 +126,66 @@ class TestKarmarkarKarp:
         assert karmarkar_karp_partition([], 3).size == 0
 
 
+def _partitioners():
+    """The three cost-aware schedulers under one (weights, t) signature."""
+    return [
+        ("lpt", lambda w, t: lpt_partition(w, t)),
+        ("kk", lambda w, t: karmarkar_karp_partition(w, t)),
+        ("bps_lpt", lambda w, t: bps_schedule(w, t, method="lpt")),
+        ("bps_kk", lambda w, t: bps_schedule(w, t, method="kk")),
+    ]
+
+
+class TestEdgeCasesUniform:
+    """m < n_workers and zero/constant-cost pools behave identically
+    across every scheduling engine (previously each one differed)."""
+
+    @pytest.mark.parametrize("name,fn", _partitioners())
+    @pytest.mark.parametrize("m,t", [(5, 2), (6, 3), (8, 4)])
+    def test_all_zero_costs_round_robin(self, name, fn, m, t):
+        a = fn(np.zeros(m), t)
+        np.testing.assert_array_equal(a, np.arange(m) % t)
+
+    @pytest.mark.parametrize("name,fn", _partitioners())
+    @pytest.mark.parametrize("m,t", [(5, 2), (7, 3), (9, 4)])
+    def test_constant_costs_round_robin(self, name, fn, m, t):
+        a = fn(np.full(m, 3.7), t)
+        np.testing.assert_array_equal(a, np.arange(m) % t)
+
+    @pytest.mark.parametrize("name,fn", _partitioners())
+    @pytest.mark.parametrize("m,t", [(1, 2), (2, 5), (3, 8), (4, 4)])
+    def test_fewer_tasks_than_workers_one_each(self, name, fn, m, t):
+        w = np.linspace(2.0, 1.0, m)  # distinct costs
+        a = fn(w, t)
+        assert a.shape == (m,)
+        assert a.min() >= 0 and a.max() < t
+        # No worker may carry two tasks while another idles.
+        assert np.bincount(a, minlength=t).max() == 1
+
+    @pytest.mark.parametrize("name,fn", _partitioners())
+    @pytest.mark.parametrize("m,t", [(2, 5), (3, 4)])
+    def test_fewer_zero_cost_tasks_than_workers(self, name, fn, m, t):
+        a = fn(np.zeros(m), t)
+        np.testing.assert_array_equal(a, np.arange(m))
+
+    @pytest.mark.parametrize("name,fn", _partitioners())
+    def test_empty_pool(self, name, fn):
+        a = fn(np.zeros(0), 3)
+        assert a.size == 0 and a.dtype == np.int64
+
+    @pytest.mark.parametrize("name,fn", _partitioners())
+    def test_single_worker(self, name, fn):
+        np.testing.assert_array_equal(fn(np.array([2.0, 1.0, 3.0]), 1), [0, 0, 0])
+
+    def test_no_idle_worker_when_m_at_least_t(self):
+        # The original pathology: LPT piled a uniform pool on worker 0
+        # and KK left workers idle. Every engine must now use all t.
+        for name, fn in _partitioners():
+            for weights in (np.zeros(6), np.full(6, 1.0)):
+                counts = np.bincount(fn(weights, 3), minlength=3)
+                assert counts.min() >= 1, (name, weights[0], counts)
+
+
 class TestBPS:
     def test_reduces_eq2_objective_vs_generic(self):
         rng = np.random.default_rng(3)

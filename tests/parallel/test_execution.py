@@ -131,3 +131,59 @@ class TestGetBackend:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             ThreadBackend(0)
+
+
+class TestExecutionResultMerge:
+    def test_empty_merge_is_neutral(self):
+        from repro.parallel import ExecutionResult
+
+        merged = ExecutionResult.merge([])
+        assert merged.results == []
+        assert merged.wall_time == 0.0
+        assert merged.total_steals == 0
+
+    def test_merge_sums_wall_and_concatenates_results(self):
+        from repro.parallel import ExecutionResult
+
+        a = SequentialBackend().execute(make_tasks([1, 2]))
+        b = SequentialBackend().execute(make_tasks([3]))
+        merged = ExecutionResult.merge([a, b])
+        assert merged.results == [1, 4, 9]
+        assert merged.wall_time == pytest.approx(a.wall_time + b.wall_time)
+        assert merged.task_times.shape == (3,)
+        np.testing.assert_allclose(
+            merged.task_times, np.concatenate([a.task_times, b.task_times])
+        )
+
+    def test_merge_pads_worker_arrays_to_widest(self):
+        from repro.parallel import ExecutionResult
+
+        a = SequentialBackend().execute(make_tasks([1, 2]))  # 1 worker
+        b = ThreadBackend(n_workers=3).execute(
+            make_tasks([1, 2, 3]), np.array([0, 1, 2])
+        )
+        merged = ExecutionResult.merge([a, b])
+        assert merged.worker_times.shape == (3,)
+        assert merged.worker_times[0] == pytest.approx(
+            a.worker_times[0] + b.worker_times[0]
+        )
+
+    def test_merge_work_stealing_telemetry(self):
+        from repro.parallel import ExecutionResult, WorkStealingBackend
+
+        costs1 = np.array([4.0, 1.0, 1.0, 1.0])
+        costs2 = np.array([2.0, 2.0, 1.0, 1.0])
+        # Seed everything on worker 0 so worker 1 must steal.
+        a0 = np.zeros(4, dtype=np.int64)
+        r1 = WorkStealingBackend(2).execute([None] * 4, a0, known_costs=costs1)
+        r2 = WorkStealingBackend(2).execute([None] * 4, a0, known_costs=costs2)
+        merged = ExecutionResult.merge([r1, r2])
+        assert merged.total_steals == r1.total_steals + r2.total_steals
+        assert merged.total_steals > 0
+        assert merged.wall_time == pytest.approx(r1.wall_time + r2.wall_time)
+        np.testing.assert_allclose(
+            merged.idle_times, r1.idle_times + r2.idle_times
+        )
+        np.testing.assert_array_equal(
+            merged.steal_counts, r1.steal_counts + r2.steal_counts
+        )

@@ -24,3 +24,50 @@ class TestCLI:
     def test_invalid_experiment(self):
         with pytest.raises(SystemExit):
             main(["table99"])
+
+
+class TestPlanCommand:
+    _fast = ["--models", "4", "--n", "120", "--d", "6", "--n-jobs", "2"]
+
+    def test_fit_plan_table(self, capsys):
+        assert main(["plan", *self._fast]) == 0
+        out = capsys.readouterr().out
+        assert "fit plan" in out
+        # All six stages named, with the planning prefix done and the
+        # training stages left pending (nothing was fitted).
+        for stage in (
+            "project", "forecast", "schedule", "execute", "approximate", "combine",
+        ):
+            assert stage in out
+        assert "pending" in out and "done" in out
+        assert "forecast_cost" in out and "worker" in out
+        assert "Planned per-worker load" in out
+
+    def test_predict_plan_json(self, capsys):
+        import json
+
+        assert main(
+            ["plan", "--phase", "predict", "--format", "json", *self._fast]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        plan = payload["predict"]
+        assert [s["name"] for s in plan["stages"]] == [
+            "project", "forecast", "schedule", "execute", "combine",
+        ]
+        assert len(plan["assignment"]) == 4
+        assert len(plan["forecast_costs"]) == 4
+        assert all(isinstance(w, int) for w in plan["assignment"])
+
+    def test_generic_split_has_no_costs(self, capsys):
+        import json
+
+        assert main(
+            ["plan", "--no-bps", "--format", "json", *self._fast]
+        ) == 0
+        plan = json.loads(capsys.readouterr().out)["fit"]
+        assert plan["forecast_costs"] is None
+        assert len(plan["assignment"]) == 4
+
+    def test_plan_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "plan" in capsys.readouterr().out

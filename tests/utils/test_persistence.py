@@ -1,7 +1,13 @@
 import numpy as np
 import pytest
 
-from repro.utils.persistence import load_model, save_model
+from repro.utils.persistence import (
+    ENSEMBLE_SCHEMA_VERSION,
+    load_ensemble,
+    load_model,
+    save_ensemble,
+    save_model,
+)
 
 
 class TestPersistence:
@@ -60,3 +66,119 @@ class TestPersistence:
         with open(p, "rb") as fh:
             payload = pickle.load(fh)
         assert payload["library_version"] == repro.__version__
+
+
+def _fitted_ensemble(tiny_X, **kwargs):
+    from repro import SUOD
+    from repro.detectors import HBOS, KNN, LOF
+
+    defaults = dict(random_state=0)
+    defaults.update(kwargs)
+    pool = [KNN(n_neighbors=5), LOF(n_neighbors=6), HBOS(n_bins=10)]
+    return SUOD(pool, **defaults).fit(tiny_X)
+
+
+class TestEnsemblePersistence:
+    def test_roundtrip_scores_bitwise_equal(self, tmp_path, tiny_X):
+        clf = _fitted_ensemble(tiny_X)
+        expected = clf.decision_function(tiny_X)
+        loaded = load_ensemble(save_ensemble(clf, tmp_path / "ens.pkl"))
+        np.testing.assert_array_equal(loaded.decision_function(tiny_X), expected)
+        np.testing.assert_array_equal(loaded.predict(tiny_X), clf.predict(tiny_X))
+        assert loaded.threshold_ == clf.threshold_
+
+    def test_roundtrip_keeps_approximators_and_projectors(self, tmp_path, tiny_X):
+        clf = _fitted_ensemble(tiny_X)
+        loaded = load_ensemble(save_ensemble(clf, tmp_path / "ens.pkl"))
+        assert len(loaded.approximators_) == clf.n_models
+        assert len(loaded.projectors_) == clf.n_models
+        np.testing.assert_array_equal(loaded.approx_flags_, clf.approx_flags_)
+        np.testing.assert_array_equal(loaded.rp_flags_, clf.rp_flags_)
+        np.testing.assert_array_equal(
+            loaded.train_score_matrix_, clf.train_score_matrix_
+        )
+
+    def test_roundtrip_keeps_fitted_cost_predictor(self, tmp_path, tiny_X):
+        from repro.core.cost import CostPredictor
+        from repro.detectors import HBOS, KNN
+
+        models = [KNN(n_neighbors=5), HBOS()]
+        feats = CostPredictor.build_features(models, tiny_X)
+        predictor = CostPredictor(n_estimators=5, random_state=0).fit(
+            feats, np.array([2.0, 1.0])
+        )
+        clf = _fitted_ensemble(
+            tiny_X, cost_predictor=predictor, n_jobs=2, backend="threads"
+        )
+        loaded = load_ensemble(save_ensemble(clf, tmp_path / "ens.pkl"))
+        assert loaded.cost_predictor is not None
+        np.testing.assert_array_equal(
+            loaded.cost_predictor.forecast(models, tiny_X),
+            predictor.forecast(models, tiny_X),
+        )
+
+    def test_run_telemetry_not_persisted(self, tmp_path, tiny_X):
+        clf = _fitted_ensemble(tiny_X)
+        clf.decision_function(tiny_X)
+        assert clf.fit_plan_ is not None and clf.predict_plan_ is not None
+        loaded = load_ensemble(save_ensemble(clf, tmp_path / "ens.pkl"))
+        for attr in ("fit_plan_", "predict_plan_", "fit_result_", "predict_result_"):
+            assert not hasattr(loaded, attr)
+
+    def test_file_size_does_not_scale_with_scored_batch(self, tmp_path, tiny_X):
+        clf = _fitted_ensemble(tiny_X)
+        clf.decision_function(tiny_X)
+        small = save_ensemble(clf, tmp_path / "small.pkl").stat().st_size
+        big_batch = np.tile(tiny_X, (200, 1))
+        clf.decision_function(big_batch)
+        big = save_ensemble(clf, tmp_path / "big.pkl").stat().st_size
+        # predict_result_ holds the last batch's per-task score arrays;
+        # it must not leak into the deployment file.
+        assert big == small
+
+    def test_unfitted_rejected(self, tmp_path):
+        from repro import SUOD
+        from repro.detectors import HBOS
+
+        with pytest.raises(ValueError, match="fitted"):
+            save_ensemble(SUOD([HBOS()]), tmp_path / "ens.pkl")
+
+    def test_non_suod_rejected(self, tmp_path, tiny_X):
+        from repro.detectors import KNN
+
+        with pytest.raises(TypeError, match="save_model"):
+            save_ensemble(KNN(n_neighbors=5).fit(tiny_X), tmp_path / "ens.pkl")
+
+    def test_different_schema_version_rejected(self, tmp_path, tiny_X):
+        import pickle
+
+        p = save_ensemble(_fitted_ensemble(tiny_X), tmp_path / "ens.pkl")
+        with open(p, "rb") as fh:
+            payload = pickle.load(fh)
+        for bad in (ENSEMBLE_SCHEMA_VERSION + 1, ENSEMBLE_SCHEMA_VERSION - 1):
+            payload["schema_version"] = bad
+            with open(p, "wb") as fh:
+                pickle.dump(payload, fh)
+            with pytest.raises(ValueError, match="schema version"):
+                load_ensemble(p)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        import pickle
+
+        p = tmp_path / "foreign.pkl"
+        with open(p, "wb") as fh:
+            pickle.dump({"magic": "repro-model"}, fh)
+        with pytest.raises(ValueError, match="not a repro ensemble"):
+            load_ensemble(p)
+
+    def test_manifest_mismatch_rejected(self, tmp_path, tiny_X):
+        import pickle
+
+        p = save_ensemble(_fitted_ensemble(tiny_X), tmp_path / "ens.pkl")
+        with open(p, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["manifest"]["n_models"] += 1
+        with open(p, "wb") as fh:
+            pickle.dump(payload, fh)
+        with pytest.raises(ValueError, match="integrity"):
+            load_ensemble(p)

@@ -19,11 +19,13 @@ def test_approximator_ablation(benchmark, cfg):
     rows, meta = run_once(benchmark, run_approximator_ablation, cfg)
     print()
     print(meta["config"], f"(dataset: {meta['dataset']})")
-    print(format_table(
-        rows,
-        columns=["detector", "approximator", "roc", "patn", "pred_ms"],
-        title="\nA4 — approximator families vs original detectors",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=["detector", "approximator", "roc", "patn", "pred_ms"],
+            title="\nA4 — approximator families vs original detectors",
+        )
+    )
 
     def rocs(appr):
         return [r["roc"] for r in rows if r["approximator"] == appr]

@@ -14,11 +14,13 @@ def test_cost_predictor_validation(benchmark, cfg):
     rows, meta = run_once(benchmark, run_cost_predictor_validation, cfg)
     print()
     print(meta["config"])
-    print(format_table(
-        rows,
-        columns=["n_timings", "n_holdout", "spearman_rho", "paper_claim"],
-        title="\nA2 — cost predictor hold-out rank correlation",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=["n_timings", "n_holdout", "spearman_rho", "paper_claim"],
+            title="\nA2 — cost predictor hold-out rank correlation",
+        )
+    )
     # Local corpus is two orders of magnitude smaller than the paper's
     # (and timings carry single-core noise); require a clearly positive,
     # strong-ish correlation rather than the paper's 0.9.

@@ -15,11 +15,20 @@ def test_jl_distortion(benchmark, cfg):
     rows, meta = run_once(benchmark, run_jl_distortion, cfg)
     print()
     print(meta["config"])
-    print(format_table(
-        rows,
-        columns=["k_frac", "k", "family", "median_distortion", "p95_distortion", "time_ms"],
-        title="\nA1 — JL pairwise-distance distortion vs target dimension",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=[
+                "k_frac",
+                "k",
+                "family",
+                "median_distortion",
+                "p95_distortion",
+                "time_ms",
+            ],
+            title="\nA1 — JL pairwise-distance distortion vs target dimension",
+        )
+    )
 
     # Distortion decreases monotonically (on average) with k.
     fracs = sorted({r["k_frac"] for r in rows})

@@ -16,11 +16,13 @@ def test_scheduler_ablation(benchmark, cfg):
     rows, meta = run_once(benchmark, run_scheduler_ablation, cfg)
     print()
     print(meta["config"], f"(m={meta['m']}, t={meta['t']})")
-    print(format_table(
-        rows,
-        columns=["distribution", "policy", "makespan", "vs_lower_bound"],
-        title="\nA3 — scheduler makespans (lower is better; 1.0 = lower bound)",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=["distribution", "policy", "makespan", "vs_lower_bound"],
+            title="\nA3 — scheduler makespans (lower is better; 1.0 = lower bound)",
+        )
+    )
 
     def mean_ratio(policy):
         return np.mean([r["vs_lower_bound"] for r in rows if r["policy"] == policy])

@@ -16,12 +16,14 @@ def test_claims_case(benchmark, cfg):
     rows, meta = run_once(benchmark, run_claims_case, cfg)
     print()
     print(meta["config"], f"(claims: {meta['n_claims']}, paper: {meta['paper_n']})")
-    print(format_table(
-        rows,
-        columns=["system", "fit_time", "pred_time", "roc", "patn"],
-        title="\n§4.5 — claims fraud screening: baseline vs SUOD "
-        "(delta_pct row: time = % reduction, accuracy = % change)",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=["system", "fit_time", "pred_time", "roc", "patn"],
+            title="\n§4.5 — claims fraud screening: baseline vs SUOD "
+            "(delta_pct row: time = % reduction, accuracy = % change)",
+        )
+    )
 
     delta = rows[-1]
     assert delta["system"] == "delta_pct"

@@ -31,14 +31,25 @@ def test_dynamic_scheduling(benchmark, cfg):
     rows, meta = run_once(benchmark, run_dynamic_scheduling, cfg)
     print()
     print(meta["config"], f"(chunk_factor={meta['chunk_factor']})")
-    print(format_table(
-        rows,
-        columns=[
-            "m", "sigma", "t", "generic", "bps", "ws_gen", "ws_bps",
-            "ws_chunk", "ideal", "steals", "redu_pct",
-        ],
-        title="\nDynamic scheduling — static vs work-stealing makespan",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=[
+                "m",
+                "sigma",
+                "t",
+                "generic",
+                "bps",
+                "ws_gen",
+                "ws_bps",
+                "ws_chunk",
+                "ideal",
+                "steals",
+                "redu_pct",
+            ],
+            title="\nDynamic scheduling — static vs work-stealing makespan",
+        )
+    )
 
     gen = np.array([r["generic"] for r in rows])
     bps = np.array([r["bps"] for r in rows])
@@ -66,11 +77,13 @@ def test_plan_stage_timings(benchmark, cfg):
         f"(n={meta['n']}, m={meta['m']}, t={meta['n_jobs']}, "
         f"backend={meta['backend']})",
     )
-    print(format_table(
-        rows,
-        columns=["phase", "stage", "wall_s", "share_pct", "steals", "overhead_pct"],
-        title="\nPer-stage wall times of a planned fit + predict pass",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=["phase", "stage", "wall_s", "share_pct", "steals", "overhead_pct"],
+            title="\nPer-stage wall times of a planned fit + predict pass",
+        )
+    )
     print(
         f"combined telemetry: wall {meta['combined_wall']:.3f}s, "
         f"steals {meta['combined_steals']}, idle {meta['combined_idle']:.3f}s"
@@ -81,10 +94,19 @@ def test_plan_stage_timings(benchmark, cfg):
     for r in rows:
         stages[r["phase"]].append(r["stage"])
     assert stages["fit"][:6] == [
-        "project", "forecast", "schedule", "execute", "approximate", "combine",
+        "project",
+        "forecast",
+        "schedule",
+        "execute",
+        "approximate",
+        "combine",
     ]
     assert stages["predict"][:5] == [
-        "project", "forecast", "schedule", "execute", "combine",
+        "project",
+        "forecast",
+        "schedule",
+        "execute",
+        "combine",
     ]
 
     # The refactor contract: plan machinery costs < 5% of the makespan

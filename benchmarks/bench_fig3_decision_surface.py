@@ -18,11 +18,13 @@ def test_fig3_decision_surface(benchmark, cfg):
     rows, meta = run_once(benchmark, run_fig3_decision_surface, cfg)
     print()
     print(meta["config"])
-    print(format_table(
-        rows,
-        columns=["model", "errors_orig", "errors_appr"],
-        title="\nFigure 3 — detection errors on the 2-D toy (200 pts, 40 outliers)",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=["model", "errors_orig", "errors_appr"],
+            title="\nFigure 3 — detection errors on the 2-D toy (200 pts, 40 outliers)",
+        )
+    )
     for name, surface in meta["surfaces"].items():
         print(f"\n{name} decision surface (darker = more outlying):")
         print(surface)

@@ -24,11 +24,13 @@ def test_table1_projection(benchmark, cfg):
     for ds in sorted({r["dataset"] for r in rows}):
         for det in sorted({r["detector"] for r in rows}):
             block = [r for r in rows if r["dataset"] == ds and r["detector"] == det]
-            print(format_table(
-                block,
-                columns=["method", "time", "roc", "patn"],
-                title=f"\nTable 1 — {det} on {ds}",
-            ))
+            print(
+                format_table(
+                    block,
+                    columns=["method", "time", "roc", "patn"],
+                    title=f"\nTable 1 — {det} on {ds}",
+                )
+            )
 
     # Shape assertion 1: compression does not make the widest dataset
     # (MNIST, d=100) slower for the distance-based detectors. At the
@@ -46,6 +48,10 @@ def test_table1_projection(benchmark, cfg):
     # Shape assertion 2: JL accuracy within tolerance of original overall.
     orig_roc = np.mean([r["roc"] for r in rows if r["method"] == "original"])
     jl_roc = np.mean(
-        [r["roc"] for r in rows if r["method"] in ("basic", "discrete", "circulant", "toeplitz")]
+        [
+            r["roc"]
+            for r in rows
+            if r["method"] in ("basic", "discrete", "circulant", "toeplitz")
+        ]
     )
     assert jl_roc > orig_roc - 0.1

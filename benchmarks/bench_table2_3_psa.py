@@ -32,11 +32,13 @@ def test_table2_psa_roc(benchmark, cfg):
     rows, meta = _rows(benchmark, cfg)
     print()
     print(meta["config"])
-    print(format_table(
-        rows,
-        columns=["dataset", "model", "roc_orig", "roc_appr"],
-        title="\nTable 2 — prediction ROC: original vs approximator",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=["dataset", "model", "roc_orig", "roc_appr"],
+            title="\nTable 2 — prediction ROC: original vs approximator",
+        )
+    )
     prox = [r for r in rows if r["model"] in ("kNN", "aKNN", "LOF")]
     assert prox, "no proximity rows produced"
     delta = np.mean([r["roc_appr"] - r["roc_orig"] for r in prox])
@@ -47,11 +49,13 @@ def test_table2_psa_roc(benchmark, cfg):
 def test_table3_psa_patn(benchmark, cfg):
     rows, meta = _rows(benchmark, cfg)
     print()
-    print(format_table(
-        rows,
-        columns=["dataset", "model", "patn_orig", "patn_appr"],
-        title="\nTable 3 — prediction P@N: original vs approximator",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=["dataset", "model", "patn_orig", "patn_appr"],
+            title="\nTable 3 — prediction P@N: original vs approximator",
+        )
+    )
     prox = [r for r in rows if r["model"] in ("kNN", "aKNN", "LOF")]
     delta = np.mean([r["patn_appr"] - r["patn_orig"] for r in prox])
     assert delta > -0.1, f"proximity P@N delta {delta:.3f}"

@@ -20,11 +20,13 @@ def test_table4_bps(benchmark, cfg):
     rows, meta = run_once(benchmark, run_table4_bps, cfg)
     print()
     print(meta["config"], f"(paper pools: m in {meta['paper_m']})")
-    print(format_table(
-        rows,
-        columns=["dataset", "n", "d", "m", "t", "generic", "bps", "redu_pct"],
-        title="\nTable 4 — training makespan: Generic vs BPS",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=["dataset", "n", "d", "m", "t", "generic", "bps", "redu_pct"],
+            title="\nTable 4 — training makespan: Generic vs BPS",
+        )
+    )
 
     redu = np.array([r["redu_pct"] for r in rows])
     # BPS wins on average and essentially never loses badly.

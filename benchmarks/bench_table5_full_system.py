@@ -19,16 +19,28 @@ def test_table5_full_system(benchmark, cfg):
     rows, meta = run_once(benchmark, run_table5_full_system, cfg)
     print()
     print(meta["config"], f"(paper uses {meta['paper_models']} models)")
-    print(format_table(
-        rows,
-        columns=[
-            "dataset", "n", "d", "t",
-            "fit_B", "fit_S", "pred_B", "pred_S",
-            "roc_avg_B", "roc_avg_S", "roc_moa_B", "roc_moa_S",
-            "patn_avg_B", "patn_avg_S",
-        ],
-        title="\nTable 5 — baseline (B) vs SUOD (S)",
-    ))
+    print(
+        format_table(
+            rows,
+            columns=[
+                "dataset",
+                "n",
+                "d",
+                "t",
+                "fit_B",
+                "fit_S",
+                "pred_B",
+                "pred_S",
+                "roc_avg_B",
+                "roc_avg_S",
+                "roc_moa_B",
+                "roc_moa_S",
+                "patn_avg_B",
+                "patn_avg_S",
+            ],
+            title="\nTable 5 — baseline (B) vs SUOD (S)",
+        )
+    )
 
     fit_redu = np.array(
         [(r["fit_B"] - r["fit_S"]) / r["fit_B"] for r in rows if r["fit_B"] > 0]
@@ -37,8 +49,9 @@ def test_table5_full_system(benchmark, cfg):
         [(r["pred_B"] - r["pred_S"]) / r["pred_B"] for r in rows if r["pred_B"] > 0]
     )
     # Time reduction on the majority of settings.
-    assert np.median(fit_redu) > 0.0, f"median fit reduction {np.median(fit_redu):.2%}"
-    assert np.median(pred_redu) > 0.0, f"median pred reduction {np.median(pred_redu):.2%}"
+    fit_med, pred_med = np.median(fit_redu), np.median(pred_redu)
+    assert fit_med > 0.0, f"median fit reduction {fit_med:.2%}"
+    assert pred_med > 0.0, f"median pred reduction {pred_med:.2%}"
 
     # No material accuracy loss in the ensemble.
     roc_delta = np.mean([r["roc_avg_S"] - r["roc_avg_B"] for r in rows])

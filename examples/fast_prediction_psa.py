@@ -40,17 +40,23 @@ def main() -> None:
         t_appr = time.perf_counter() - t0
 
         print(f"{name}:")
-        print(f"  original  : {1000 * t_orig:7.1f} ms  "
-              f"ROC {roc_auc_score(yte, s_orig):.3f}")
-        print(f"  PSA forest: {1000 * t_appr:7.1f} ms  "
-              f"ROC {roc_auc_score(yte, s_appr):.3f}  "
-              f"(rank agreement rho = {spearmanr(s_orig, s_appr):.3f})")
+        print(
+            f"  original  : {1000 * t_orig:7.1f} ms  "
+            f"ROC {roc_auc_score(yte, s_orig):.3f}"
+        )
+        print(
+            f"  PSA forest: {1000 * t_appr:7.1f} ms  "
+            f"ROC {roc_auc_score(yte, s_appr):.3f}  "
+            f"(rank agreement rho = {spearmanr(s_orig, s_appr):.3f})"
+        )
         speedup = t_orig / max(t_appr, 1e-9)
         print(f"  prediction speedup: {speedup:.1f}x\n")
 
-    print("note: PSA only replaces *costly* models — HBOS or iForest would "
-          "gain nothing\n(their prediction is already cheaper than any "
-          "approximator; see repro.detectors.is_costly).")
+    print(
+        "note: PSA only replaces *costly* models — HBOS or iForest would "
+        "gain nothing\n(their prediction is already cheaper than any "
+        "approximator; see repro.detectors.is_costly)."
+    )
 
 
 if __name__ == "__main__":

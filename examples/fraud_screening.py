@@ -38,17 +38,22 @@ def main() -> None:
 
     results = {}
     for label, flags in (
-        ("current system (no acceleration)",
-         dict(rp_flag_global=False, approx_flag_global=False, bps_flag=False)),
-        ("SUOD (all modules)",
-         dict(rp_flag_global=True, approx_flag_global=True, bps_flag=True)),
+        (
+            "current system (no acceleration)",
+            dict(rp_flag_global=False, approx_flag_global=False, bps_flag=False),
+        ),
+        (
+            "SUOD (all modules)",
+            dict(rp_flag_global=True, approx_flag_global=True, bps_flag=True),
+        ),
     ):
         clf = SUOD(
             [type(m)(**m.get_params()) for m in pool],  # fresh copies
             n_jobs=10,
             backend="simulated",
-            approx_clf=RandomForestRegressor(n_estimators=30, max_depth=10,
-                                             random_state=0),
+            approx_clf=RandomForestRegressor(
+                n_estimators=30, max_depth=10, random_state=0
+            ),
             random_state=0,
             **flags,
         )
@@ -60,16 +65,20 @@ def main() -> None:
         print(f"\n{label}")
         print(f"  fit (10 virtual workers): {clf.fit_result_.wall_time:.2f}s")
         print(f"  scoring {X_test.shape[0]} new claims: {score_wall:.2f}s")
-        print(f"  ROC-AUC: {roc_auc_score(y_test, scores):.3f}  "
-              f"P@N: {precision_at_n(y_test, scores):.3f}")
+        print(
+            f"  ROC-AUC: {roc_auc_score(y_test, scores):.3f}  "
+            f"P@N: {precision_at_n(y_test, scores):.3f}"
+        )
 
     # SIU escalation report: the top 1% riskiest claims.
     _, _, scores, clf = results["SUOD (all modules)"]
     n_escalate = max(1, len(scores) // 100)
     top = np.argsort(-scores)[:n_escalate]
     hit_rate = y_test[top].mean()
-    print(f"\nescalating top {n_escalate} claims to SIU; "
-          f"{hit_rate:.0%} are labelled fraud in this synthetic ground truth")
+    print(
+        f"\nescalating top {n_escalate} claims to SIU; "
+        f"{hit_rate:.0%} are labelled fraud in this synthetic ground truth"
+    )
 
     # Interpretability bonus of PSA (Remark 1): a forest approximator
     # exposes feature importances for investigator triage. Train it on

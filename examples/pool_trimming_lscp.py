@@ -34,33 +34,41 @@ def main() -> None:
 
     # -- future-work #4: trim the model space before the expensive fit --
     t0 = time.perf_counter()
-    kept, idx = trim_pool(pool, Xtr, keep_fraction=0.5, subsample=300,
-                          random_state=0)
-    print(f"trimmed to {len(kept)} models in {time.perf_counter() - t0:.2f}s "
-          "(pilot fit on a 300-sample subsample)")
+    kept, idx = trim_pool(pool, Xtr, keep_fraction=0.5, subsample=300, random_state=0)
+    print(
+        f"trimmed to {len(kept)} models in {time.perf_counter() - t0:.2f}s "
+        "(pilot fit on a 300-sample subsample)"
+    )
 
     # -- the SUOD core: all three acceleration modules -------------------
     clf = SUOD(kept, n_jobs=4, backend="simulated", random_state=0)
     clf.fit(Xtr)
-    print(f"SUOD fit virtual makespan: {clf.fit_result_.wall_time:.2f}s "
-          f"on {clf.n_jobs} workers")
+    print(
+        f"SUOD fit virtual makespan: {clf.fit_result_.wall_time:.2f}s "
+        f"on {clf.n_jobs} workers"
+    )
 
     # -- global average vs future-work #1: LSCP downstream combination --
     global_scores = clf.decision_function(Xte)
     lscp = LSCP(n_neighbors=20, n_select=3).fit(Xtr, clf.train_score_matrix_)
     local_scores = lscp.combine(Xte, clf.decision_function_matrix(Xte))
 
-    print("\nglobal average combination ROC: "
-          f"{roc_auc_score(yte, global_scores):.3f}")
-    print("LSCP local selection ROC:       "
-          f"{roc_auc_score(yte, local_scores):.3f}")
+    print(
+        "\nglobal average combination ROC: "
+        f"{roc_auc_score(yte, global_scores):.3f}"
+    )
+    print("LSCP local selection ROC:       " f"{roc_auc_score(yte, local_scores):.3f}")
 
     chosen = lscp.selected_models(Xte)
-    print(f"\nLSCP picked {len(set(chosen.ravel().tolist()))} distinct "
-          "detectors across the test set — competence is local.")
-    print("(LSCP trades robustness of the global average for local "
-          "adaptivity;\n which wins is dataset-dependent — see the LSCP "
-          "paper's discussion.)")
+    print(
+        f"\nLSCP picked {len(set(chosen.ravel().tolist()))} distinct "
+        "detectors across the test set — competence is local."
+    )
+    print(
+        "(LSCP trades robustness of the global average for local "
+        "adaptivity;\n which wins is dataset-dependent — see the LSCP "
+        "paper's discussion.)"
+    )
 
 
 if __name__ == "__main__":

@@ -18,8 +18,10 @@ def main() -> None:
     # A scaled-down replica of the Cardio benchmark (see repro.data docs).
     X, y = load_benchmark("Cardio", scale=0.5)
     X_train, X_test, y_train, y_test = train_test_split(X, y, random_state=0)
-    print(f"train: {X_train.shape}, test: {X_test.shape}, "
-          f"outlier rate: {y.mean():.1%}")
+    print(
+        f"train: {X_train.shape}, test: {X_test.shape}, "
+        f"outlier rate: {y.mean():.1%}"
+    )
 
     # -- Codeblock 1 of the paper -------------------------------------
     base_estimators = [
@@ -46,8 +48,10 @@ def main() -> None:
     test_scores = clf.decision_function(X_test)
     # ------------------------------------------------------------------
 
-    print(f"\nfit virtual makespan: {clf.fit_result_.wall_time:.3f}s "
-          f"across {clf.n_jobs} workers")
+    print(
+        f"\nfit virtual makespan: {clf.fit_result_.wall_time:.3f}s "
+        f"across {clf.n_jobs} workers"
+    )
     print(f"models projected (RP): {int(clf.rp_flags_.sum())}/{clf.n_models}")
     print(f"models approximated (PSA): {int(clf.approx_flags_.sum())}/{clf.n_models}")
     print(f"flagged outliers in test: {int(test_labels.sum())}/{len(test_labels)}")

@@ -29,8 +29,12 @@ def main() -> None:
     pool = []
     for fam in ("KNN", "IsolationForest", "HBOS", "OCSVM"):
         pool.extend(
-            sample_model_pool(25, families=[fam], max_n_neighbors=100,
-                              random_state=hash(fam) % 2**31)
+            sample_model_pool(
+                25,
+                families=[fam],
+                max_n_neighbors=100,
+                random_state=hash(fam) % 2**31,
+            )
         )
     print(f"pool: {len(pool)} heterogeneous models, family-ordered\n")
 
@@ -55,8 +59,10 @@ def main() -> None:
         "BPS (forecast rank sums)": bps_schedule(forecast, t),
     }
     ideal = true_costs.sum() / t
-    print(f"replaying measured costs through {t} virtual workers "
-          f"(ideal makespan = {ideal:.2f}s):\n")
+    print(
+        f"replaying measured costs through {t} virtual workers "
+        f"(ideal makespan = {ideal:.2f}s):\n"
+    )
     header = f"{'policy':32s} {'makespan':>9s} {'imbalance':>10s}  per-worker loads"
     print(header)
     print("-" * len(header))
@@ -69,8 +75,10 @@ def main() -> None:
 
     gen = makespan(true_costs, schedules["generic (contiguous by order)"], t)
     bps = makespan(true_costs, schedules["BPS (forecast rank sums)"], t)
-    print(f"\nBPS time reduction vs generic: {100 * (gen - bps) / gen:.1f}% "
-          "(the paper reports up to 61%, Table 4)")
+    print(
+        f"\nBPS time reduction vs generic: {100 * (gen - bps) / gen:.1f}% "
+        "(the paper reports up to 61%, Table 4)"
+    )
 
 
 if __name__ == "__main__":

@@ -79,8 +79,10 @@ def main() -> None:
 
     rng = np.random.default_rng(42)
     batch_executions = []
-    print(f"\n{'batch':>5} {'rows':>6} {'latency':>9} {'rows/s':>9} "
-          f"{'steals':>7} {'max idle':>9}")
+    print(
+        f"\n{'batch':>5} {'rows':>6} {'latency':>9} {'rows/s':>9} "
+        f"{'steals':>7} {'max idle':>9}"
+    )
     for batch_id in range(6):
         n_rows = int(rng.integers(300, 900))
         stream = rng.standard_normal((n_rows, X_train.shape[1]))

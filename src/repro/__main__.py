@@ -98,9 +98,7 @@ def _print_plan(kind: str, plan, estimators, max_rows: int = 48) -> None:
         )
         if len(rows) > max_rows:
             print(f"... ({len(rows) - max_rows} more tasks)")
-        print(
-            format_table(plan.worker_rows(), title="\nPlanned per-worker load")
-        )
+        print(format_table(plan.worker_rows(), title="\nPlanned per-worker load"))
     else:
         print("(no assignment yet — run the schedule stage)")
 
@@ -121,9 +119,7 @@ def run_plan_command(argv=None) -> int:
             "so nothing is trained unless --phase includes predict."
         ),
     )
-    parser.add_argument(
-        "--phase", choices=("fit", "predict", "both"), default="fit"
-    )
+    parser.add_argument("--phase", choices=("fit", "predict", "both"), default="fit")
     parser.add_argument(
         "--format", dest="fmt", choices=("table", "json"), default="table"
     )

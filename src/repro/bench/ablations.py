@@ -121,8 +121,12 @@ def run_scheduler_ablation(cfg: BenchConfig, *, m: int = 120, t: int = 8):
     for dist_name, sampler in (
         ("exponential", lambda: rng.exponential(1.0, m)),
         ("lognormal", lambda: rng.lognormal(0.0, 1.5, m)),
-        ("bimodal", lambda: np.concatenate([rng.uniform(0.1, 0.2, m // 2),
-                                            rng.uniform(5.0, 10.0, m - m // 2)])),
+        (
+            "bimodal",
+            lambda: np.concatenate(
+                [rng.uniform(0.1, 0.2, m // 2), rng.uniform(5.0, 10.0, m - m // 2)]
+            ),
+        ),
     ):
         true_costs = np.sort(sampler())[::-1]  # family-ordered pathology
         noisy_forecast = true_costs * rng.lognormal(0.0, 0.3, m)

@@ -302,10 +302,16 @@ def run_dynamic_scheduling(
     for m in m_list:
         for sigma in sigmas:
             for t in t_list:
-                acc = {k: [] for k in (
-                    "generic", "bps", "ws_gen", "ws_bps", "ws_chunk",
-                    "steals", "ideal",
-                )}
+                fields = (
+                    "generic",
+                    "bps",
+                    "ws_gen",
+                    "ws_bps",
+                    "ws_chunk",
+                    "steals",
+                    "ideal",
+                )
+                acc = {k: [] for k in fields}
                 for trial in range(cfg.trials):
                     rng = np.random.default_rng(1000 * trial + m + int(10 * sigma))
                     true = np.sort(rng.lognormal(0.0, sigma, m))[::-1]
@@ -504,7 +510,8 @@ def run_table5_full_system(
 
         for t in t_list:
             row = {"dataset": ds, "n": X.shape[0], "d": X.shape[1], "t": t}
-            for label, (clf, fit_costs, pred_costs, forecast, metrics) in per_system.items():
+            for label, system in per_system.items():
+                clf, fit_costs, pred_costs, forecast, metrics = system
                 m = len(fit_costs)
                 if label == "S":  # BPS on forecast ranks
                     assignment = bps_schedule(forecast, t)
@@ -560,9 +567,7 @@ def run_fig3_decision_surface(cfg: BenchConfig):
         )
         err_orig = _count_errors(det.decision_function(X), y, contamination)
         err_appr = _count_errors(reg.predict(X), y, contamination)
-        rows.append(
-            {"model": name, "errors_orig": err_orig, "errors_appr": err_appr}
-        )
+        rows.append({"model": name, "errors_orig": err_orig, "errors_appr": err_appr})
         surfaces[name] = _ascii_surface(det.decision_function)
         surfaces[f"{name} approximator"] = _ascii_surface(reg.predict)
     return rows, {"config": cfg.describe(), "surfaces": surfaces}
@@ -580,7 +585,10 @@ def run_claims_case(cfg: BenchConfig, *, n_workers: int = 10):
     Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=0)
     out = {}
     for label, flags in (
-        ("baseline", dict(rp_flag_global=False, approx_flag_global=False, bps_flag=False)),
+        (
+            "baseline",
+            dict(rp_flag_global=False, approx_flag_global=False, bps_flag=False),
+        ),
         ("suod", dict(rp_flag_global=True, approx_flag_global=True, bps_flag=True)),
     ):
         # Two timing passes per system; keep the faster one. Per-model

@@ -33,9 +33,7 @@ def format_table(
         return f"{title or 'table'}: (no rows)"
     cols = list(columns) if columns is not None else list(rows[0].keys())
     cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
-    widths = [
-        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
-    ]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
     lines = []
     if title:
         lines.append(title)

@@ -34,9 +34,7 @@ def _as_matrix(scores) -> np.ndarray:
     return S
 
 
-def zscore_standardise(
-    scores, *, ref: np.ndarray | None = None
-) -> np.ndarray:
+def zscore_standardise(scores, *, ref: np.ndarray | None = None) -> np.ndarray:
     """Row-wise z-scoring; statistics from ``ref`` rows when given.
 
     ``ref`` carries the train-set score matrix so new-sample scores are

@@ -147,7 +147,8 @@ class AnalyticCostModel:
         if fam == "IsolationForest":
             t = float(g.get("n_estimators", 100))
             sub = min(256.0, n)
-            return t * sub * np.log2(max(sub, 2.0)) * 40 + t * n * np.log2(max(sub, 2.0))
+            log_sub = np.log2(max(sub, 2.0))
+            return t * sub * log_sub * 40 + t * n * log_sub
         if fam == "PCAD":
             return n * d * d + d**3
         if fam == "LODA":

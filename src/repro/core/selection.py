@@ -118,9 +118,7 @@ def trim_pool(
         for cand in order[1:]:
             if len(kept_list) == n_keep:
                 break
-            redundancy = max(
-                abs(spearmanr(Z[cand], Z[j])) for j in kept_list
-            )
+            redundancy = max(abs(spearmanr(Z[cand], Z[j])) for j in kept_list)
             # Accept unless nearly duplicated by an already-kept model.
             if redundancy < 0.95:
                 kept_list.append(int(cand))

@@ -60,9 +60,7 @@ __all__ = ["SUOD", "RP_NG_FAMILIES"]
 
 # Families where projection "may not be helpful or even detrimental"
 # (§3.3): subspace / histogram / per-feature methods.
-RP_NG_FAMILIES = frozenset(
-    {"IsolationForest", "HBOS", "LODA", "COPOD", "PCAD"}
-)
+RP_NG_FAMILIES = frozenset({"IsolationForest", "HBOS", "LODA", "COPOD", "PCAD"})
 
 _COMBINERS = ("average", "maximization", "moa")
 
@@ -401,10 +399,7 @@ class SUOD:
         if ctx.owners is not None:
             n = ctx.X.shape[0]
             ctx.costs = np.array(
-                [
-                    model_costs[i] * (sl.stop - sl.start) / n
-                    for i, sl in ctx.owners
-                ]
+                [model_costs[i] * (sl.stop - sl.start) / n for i, sl in ctx.owners]
             )
         else:
             ctx.costs = model_costs
@@ -516,12 +511,8 @@ class SUOD:
                 regressor=regressor,
                 approx_flags=flags,
             )
-            self.approx_flags_ = np.array(
-                [a.approximated for a in self.approximators_]
-            )
-            self._log(
-                f"PSA: {int(self.approx_flags_.sum())}/{m} models approximated"
-            )
+            self.approx_flags_ = np.array([a.approximated for a in self.approximators_])
+            self._log(f"PSA: {int(self.approx_flags_.sum())}/{m} models approximated")
         else:
             self.approximators_ = [
                 Approximator(est, enabled=False)
@@ -554,9 +545,7 @@ class SUOD:
     def _predict_stage_execute(self, ctx: PlanContext) -> dict:
         if ctx.owners is not None:
             tasks = [
-                functools.partial(
-                    _score_one, self.approximators_[i], ctx.spaces[i][sl]
-                )
+                functools.partial(_score_one, self.approximators_[i], ctx.spaces[i][sl])
                 for i, sl in ctx.owners
             ]
         else:

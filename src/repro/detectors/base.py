@@ -37,9 +37,7 @@ class BaseDetector(abc.ABC):
 
     def __init__(self, contamination: float = 0.1):
         if not 0.0 < contamination <= 0.5:
-            raise ValueError(
-                f"contamination must be in (0, 0.5], got {contamination}"
-            )
+            raise ValueError(f"contamination must be in (0, 0.5], got {contamination}")
         self.contamination = contamination
 
     # -- subclass contract ---------------------------------------------
@@ -64,9 +62,7 @@ class BaseDetector(abc.ABC):
             )
         self.n_features_in_ = X.shape[1]
         self.decision_scores_ = scores
-        self.threshold_ = float(
-            np.quantile(scores, 1.0 - self.contamination)
-        )
+        self.threshold_ = float(np.quantile(scores, 1.0 - self.contamination))
         self.labels_ = (scores > self.threshold_).astype(np.int64)
         return self
 

@@ -61,14 +61,10 @@ class CBLOF(BaseDetector):
         if self.beta <= 1.0:
             raise ValueError("beta must be > 1")
         if not 1 <= self.n_clusters <= X.shape[0]:
-            raise ValueError(
-                f"n_clusters={self.n_clusters} out of [1, {X.shape[0]}]"
-            )
+            raise ValueError(f"n_clusters={self.n_clusters} out of [1, {X.shape[0]}]")
 
     def _fit(self, X: np.ndarray) -> np.ndarray:
-        km = KMeans(
-            n_clusters=self.n_clusters, random_state=self.random_state
-        ).fit(X)
+        km = KMeans(n_clusters=self.n_clusters, random_state=self.random_state).fit(X)
         self._centers = km.cluster_centers_
         sizes = np.bincount(km.labels_, minlength=self.n_clusters)
 

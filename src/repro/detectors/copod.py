@@ -51,7 +51,8 @@ class COPOD(BaseDetector):
         for j in range(d):
             u = _ecdf_positions(self._sorted[:, j], X[:, j])
             left[:, j] = -np.log(u)
-            right[:, j] = -np.log(np.clip(1.0 - u + 1.0 / self._sorted.shape[0], _EPS, 1.0))
+            u_right = 1.0 - u + 1.0 / self._sorted.shape[0]
+            right[:, j] = -np.log(np.clip(u_right, _EPS, 1.0))
         skew_corrected = np.where(self._skew[None, :] < 0, left, right)
         p_left = left.sum(axis=1)
         p_right = right.sum(axis=1)

@@ -34,7 +34,9 @@ class HBOS(BaseDetector):
     contamination : float, default 0.1
     """
 
-    def __init__(self, n_bins: int = 10, *, tol: float = 0.5, contamination: float = 0.1):
+    def __init__(
+        self, n_bins: int = 10, *, tol: float = 0.5, contamination: float = 0.1
+    ):
         super().__init__(contamination=contamination)
         self.n_bins = n_bins
         self.tol = tol

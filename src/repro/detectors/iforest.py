@@ -28,18 +28,37 @@ def _average_path_length(n) -> np.ndarray | float:
     n = np.asarray(n, dtype=np.float64)
     out = np.zeros_like(n)
     big = n > 2
-    out[big] = 2.0 * (np.log(n[big] - 1.0) + _EULER_GAMMA) - 2.0 * (n[big] - 1.0) / n[big]
+    out[big] = 2.0 * (np.log(n[big] - 1.0) + _EULER_GAMMA) - 2.0 * (
+        n[big] - 1.0
+    ) / n[big]
     out[n == 2] = 1.0
     return out
+
+
+def _leaf_path_adjust(depth: int, size: int) -> float:
+    """Leaf annotation: depth plus the expected remaining path c(size)."""
+    return depth + float(_average_path_length(np.array([size]))[0])
 
 
 class _ITree:
     """One isolation tree stored in flat arrays."""
 
-    __slots__ = ("feature", "threshold", "left", "right", "path_adjust", "features_used")
+    __slots__ = (
+        "feature",
+        "threshold",
+        "left",
+        "right",
+        "path_adjust",
+        "features_used",
+    )
 
-    def __init__(self, X: np.ndarray, height_limit: int, rng: np.random.Generator,
-                 feature_subset: np.ndarray):
+    def __init__(
+        self,
+        X: np.ndarray,
+        height_limit: int,
+        rng: np.random.Generator,
+        feature_subset: np.ndarray,
+    ):
         feature: list[int] = []
         threshold: list[float] = []
         left: list[int] = []
@@ -63,7 +82,7 @@ class _ITree:
             idx, depth, node, _ = stack.pop()
             size = idx.size
             if depth >= height_limit or size <= 1:
-                path_adjust[node] = depth + float(_average_path_length(np.array([size]))[0])
+                path_adjust[node] = _leaf_path_adjust(depth, size)
                 continue
             # Pick a feature with spread; give up after trying all.
             cand = rng.permutation(feature_subset)
@@ -75,7 +94,7 @@ class _ITree:
                     chosen = int(f)
                     break
             if chosen < 0:  # all duplicate rows
-                path_adjust[node] = depth + float(_average_path_length(np.array([size]))[0])
+                path_adjust[node] = _leaf_path_adjust(depth, size)
                 continue
             col = X[idx, chosen]
             lo, hi = col.min(), col.max()
@@ -84,7 +103,7 @@ class _ITree:
             if mask.all() or not mask.any():  # numerical edge: force a cut
                 mask = col < np.median(col)
                 if not mask.any() or mask.all():
-                    path_adjust[node] = depth + float(_average_path_length(np.array([size]))[0])
+                    path_adjust[node] = _leaf_path_adjust(depth, size)
                     continue
             feature[node] = chosen
             threshold[node] = float(thr)
@@ -167,7 +186,9 @@ class IsolationForest(BaseDetector):
             t_rng = np.random.default_rng(seed)
             idx = t_rng.choice(n, size=sub, replace=False) if sub < n else np.arange(n)
             feats = (
-                t_rng.choice(d, size=n_feat, replace=False) if n_feat < d else np.arange(d)
+                t_rng.choice(d, size=n_feat, replace=False)
+                if n_feat < d
+                else np.arange(d)
             )
             self._trees.append(_ITree(X[idx], height_limit, t_rng, feats))
         return self._score(X)

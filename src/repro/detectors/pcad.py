@@ -44,9 +44,7 @@ class PCAD(BaseDetector):
         self.weighted = weighted
 
     def _validate_params(self, X: np.ndarray) -> None:
-        if self.n_components is not None and not (
-            1 <= self.n_components <= X.shape[1]
-        ):
+        if self.n_components is not None and not (1 <= self.n_components <= X.shape[1]):
             raise ValueError(
                 f"n_components={self.n_components} out of [1, {X.shape[1]}]"
             )

@@ -28,12 +28,16 @@ def _worker_loads(costs, assignment, n_workers: int) -> np.ndarray:
     return np.bincount(assignment, weights=costs, minlength=n_workers)
 
 
-def makespan(costs: Sequence[float], assignment: Sequence[int], n_workers: int) -> float:
+def makespan(
+    costs: Sequence[float], assignment: Sequence[int], n_workers: int
+) -> float:
     """Wall-clock time of the schedule: max total cost over workers."""
     return float(_worker_loads(costs, assignment, n_workers).max(initial=0.0))
 
 
-def imbalance(costs: Sequence[float], assignment: Sequence[int], n_workers: int) -> float:
+def imbalance(
+    costs: Sequence[float], assignment: Sequence[int], n_workers: int
+) -> float:
     """Relative imbalance: ``makespan / mean_load - 1`` (0 = perfect).
 
     A value of 0.5 means the slowest worker carries 50% more load than the
@@ -46,7 +50,9 @@ def imbalance(costs: Sequence[float], assignment: Sequence[int], n_workers: int)
     return float(loads.max() / mean - 1.0)
 
 
-def rank_sum_deviation(ranks: Sequence[float], assignment: Sequence[int], n_workers: int) -> float:
+def rank_sum_deviation(
+    ranks: Sequence[float], assignment: Sequence[int], n_workers: int
+) -> float:
     """The paper's Eq. 2 objective evaluated on a given assignment.
 
     ``sum_i | sum_{j in W_i} rank_j - (m^2 + m) / (2t) |`` where ``m`` is

@@ -105,16 +105,12 @@ class ExecutionResult:
         return cls(
             results=[r for res in results for r in res.results],
             wall_time=float(sum(r.wall_time for r in results)),
-            worker_times=_padded_sum(
-                [r.worker_times for r in results], np.float64
-            ),
+            worker_times=_padded_sum([r.worker_times for r in results], np.float64),
             task_times=np.concatenate([r.task_times for r in results])
             if any(r.task_times.size for r in results)
             else np.zeros(0),
             idle_times=_padded_sum([r.idle_times for r in results], np.float64),
-            steal_counts=_padded_sum(
-                [r.steal_counts for r in results], np.int64
-            ),
+            steal_counts=_padded_sum([r.steal_counts for r in results], np.int64),
         )
 
 
@@ -199,9 +195,7 @@ class ThreadBackend(_BackendBase):
         _, groups = self._group(tasks, assignment)
         t0 = time.perf_counter()
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = [
-                pool.submit(_run_group, [tasks[i] for i in g]) for g in groups
-            ]
+            futures = [pool.submit(_run_group, [tasks[i] for i in g]) for g in groups]
             outputs = [f.result() for f in futures]
         out = self._scatter(tasks, groups, outputs)
         out.wall_time = time.perf_counter() - t0
@@ -215,9 +209,7 @@ class ProcessBackend(_BackendBase):
         _, groups = self._group(tasks, assignment)
         t0 = time.perf_counter()
         with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = [
-                pool.submit(_run_group, [tasks[i] for i in g]) for g in groups
-            ]
+            futures = [pool.submit(_run_group, [tasks[i] for i in g]) for g in groups]
             outputs = [f.result() for f in futures]
         out = self._scatter(tasks, groups, outputs)
         out.wall_time = time.perf_counter() - t0

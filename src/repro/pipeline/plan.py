@@ -108,9 +108,7 @@ class ExecutionPlan:
         :meth:`release_data`) can no longer be replayed.
         """
         if self._released:
-            raise RuntimeError(
-                "plan context was released; build a new plan to re-run"
-            )
+            raise RuntimeError("plan context was released; build a new plan to re-run")
         self.reports = []
         return self
 

@@ -39,13 +39,9 @@ class PlanRunner:
         context; telemetry accumulates in ``plan.reports``.
         """
         if until is not None and until not in plan.stage_names:
-            raise ValueError(
-                f"unknown stage {until!r}; plan has {plan.stage_names}"
-            )
+            raise ValueError(f"unknown stage {until!r}; plan has {plan.stage_names}")
         if getattr(plan, "_released", False) and not plan.is_complete:
-            raise RuntimeError(
-                "plan context was released; build a new plan to run it"
-            )
+            raise RuntimeError("plan context was released; build a new plan to run it")
         done = set(plan.completed)
         for stage in plan.stages:
             if stage.name in done:

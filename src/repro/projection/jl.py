@@ -42,9 +42,7 @@ def jl_min_dim(n_samples: int, eps: float = 0.3) -> int:
     return int(np.ceil(6.0 * np.log(max(n_samples, 2)) / eps**2))
 
 
-def _draw_matrix(
-    family: str, d: int, k: int, rng: np.random.Generator
-) -> np.ndarray:
+def _draw_matrix(family: str, d: int, k: int, rng: np.random.Generator) -> np.ndarray:
     """Draw the (d, k) transformation matrix W (pre-scaling)."""
     if family == "basic":
         return rng.standard_normal((d, k))
@@ -85,7 +83,9 @@ class JLProjector(BaseProjector):
          transform so the stored matrix matches the paper's definition).
     """
 
-    def __init__(self, n_components: int, *, family: str = "toeplitz", random_state=None):
+    def __init__(
+        self, n_components: int, *, family: str = "toeplitz", random_state=None
+    ):
         if family not in JL_FAMILIES:
             raise ValueError(f"family must be one of {JL_FAMILIES}, got {family!r}")
         self.n_components = n_components

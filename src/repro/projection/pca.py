@@ -38,9 +38,7 @@ class PCAProjector(BaseProjector):
         self.components_ = Vt[:k]
         var = s**2
         total = var.sum()
-        self.explained_variance_ratio_ = (
-            var[:k] / total if total > 0 else np.zeros(k)
-        )
+        self.explained_variance_ratio_ = (var[:k] / total if total > 0 else np.zeros(k))
         self.n_features_in_ = d
         self.n_components_ = k
         return self

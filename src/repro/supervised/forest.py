@@ -115,14 +115,14 @@ class RandomForestRegressor:
         if self.oob_score:
             seen = oob_cnt > 0
             if not seen.any():
-                raise ValueError(
-                    "too few trees: no sample was ever out-of-bag"
-                )
+                raise ValueError("too few trees: no sample was ever out-of-bag")
             pred = oob_sum[seen] / oob_cnt[seen]
             ss_res = float(((y[seen] - pred) ** 2).sum())
             ss_tot = float(((y[seen] - y[seen].mean()) ** 2).sum())
             self.oob_score_ = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
-            self.oob_prediction_ = np.where(seen, oob_sum / np.maximum(oob_cnt, 1), np.nan)
+            self.oob_prediction_ = np.where(
+                seen, oob_sum / np.maximum(oob_cnt, 1), np.nan
+            )
         return self
 
     def predict(self, X) -> np.ndarray:

@@ -39,9 +39,7 @@ class KNeighborsRegressor:
         if X.shape[0] != y.shape[0]:
             raise ValueError("X and y have inconsistent lengths")
         if not 1 <= self.n_neighbors <= X.shape[0]:
-            raise ValueError(
-                f"n_neighbors={self.n_neighbors} out of [1, {X.shape[0]}]"
-            )
+            raise ValueError(f"n_neighbors={self.n_neighbors} out of [1, {X.shape[0]}]")
         self._nn = NearestNeighbors(n_neighbors=self.n_neighbors).fit(X)
         self._y = y
         self.n_features_in_ = X.shape[1]
@@ -59,8 +57,9 @@ class KNeighborsRegressor:
             w = 1.0 / dist
         w[~np.isfinite(w)] = 0.0
         out = np.empty(X.shape[0])
-        nonzero = w.sum(axis=1) > 0
-        out[nonzero] = (w[nonzero] * targets[nonzero]).sum(axis=1) / w[nonzero].sum(axis=1)
+        wsum = w.sum(axis=1)
+        nonzero = wsum > 0
+        out[nonzero] = (w[nonzero] * targets[nonzero]).sum(axis=1) / wsum[nonzero]
         out[~nonzero] = targets[~nonzero].mean(axis=1)
         if exact.any():
             # Average over the zero-distance matches only.

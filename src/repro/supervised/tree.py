@@ -163,7 +163,8 @@ class DecisionTreeRegressor:
                 proxy = np.where(valid, proxy, -np.inf)
                 pos = int(np.argmax(proxy))
                 if proxy[pos] > best_gain:
-                    best_gain, best_f, best_pos, best_order = proxy[pos], int(f), pos, order
+                    best_gain, best_f = proxy[pos], int(f)
+                    best_pos, best_order = pos, order
 
             if best_f < 0:
                 continue
@@ -205,9 +206,7 @@ class DecisionTreeRegressor:
         self.n_features_in_ = d
         self.max_depth_ = depth_seen
         total = importances.sum()
-        self.feature_importances_ = (
-            importances / total if total > 0 else importances
-        )
+        self.feature_importances_ = (importances / total if total > 0 else importances)
         return self
 
     # ------------------------------------------------------------------

@@ -94,7 +94,9 @@ def pairwise_distances_chunked(
         yield sl, pairwise_distances(X[sl], Yv, metric=metric, p=p)
 
 
-def cdist_to_self_excluded(X: np.ndarray, *, metric: str = "euclidean", p: float = 2.0) -> np.ndarray:
+def cdist_to_self_excluded(
+    X: np.ndarray, *, metric: str = "euclidean", p: float = 2.0
+) -> np.ndarray:
     """Self distance matrix with the diagonal set to ``+inf``.
 
     Convenient for "nearest neighbor excluding the point itself" queries

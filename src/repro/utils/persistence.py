@@ -117,9 +117,7 @@ def save_ensemble(model, path) -> Path:
             "use save_model for single estimators"
         )
     if not hasattr(model, "base_estimators_"):
-        raise ValueError(
-            "save_ensemble requires a fitted SUOD (call fit first)"
-        )
+        raise ValueError("save_ensemble requires a fitted SUOD (call fit first)")
     path = Path(path)
     payload = {
         "magic": _ENSEMBLE_MAGIC,

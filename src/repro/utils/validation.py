@@ -157,16 +157,30 @@ def check_scalar(
     if isinstance(value, bool) and target_type is not bool:
         raise TypeError(f"{name} must be {target_type}, got bool")
     if not isinstance(value, target_type):
-        raise TypeError(f"{name} must be an instance of {target_type}, got {type(value)}")
+        raise TypeError(
+            f"{name} must be an instance of {target_type}, got {type(value)}"
+        )
 
-    left_ok = {"both": np.greater_equal, "left": np.greater_equal,
-               "right": np.greater, "neither": np.greater}
-    right_ok = {"both": np.less_equal, "right": np.less_equal,
-                "left": np.less, "neither": np.less}
+    left_ok = {
+        "both": np.greater_equal,
+        "left": np.greater_equal,
+        "right": np.greater,
+        "neither": np.greater,
+    }
+    right_ok = {
+        "both": np.less_equal,
+        "right": np.less_equal,
+        "left": np.less,
+        "neither": np.less,
+    }
     if include_boundaries not in left_ok:
         raise ValueError(f"Unknown boundary spec: {include_boundaries!r}")
     if min_val is not None and not left_ok[include_boundaries](value, min_val):
-        raise ValueError(f"{name} == {value}, must be >= {min_val} ({include_boundaries})")
+        raise ValueError(
+            f"{name} == {value}, must be >= {min_val} ({include_boundaries})"
+        )
     if max_val is not None and not right_ok[include_boundaries](value, max_val):
-        raise ValueError(f"{name} == {value}, must be <= {max_val} ({include_boundaries})")
+        raise ValueError(
+            f"{name} == {value}, must be <= {max_val} ({include_boundaries})"
+        )
     return value

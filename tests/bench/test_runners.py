@@ -44,9 +44,7 @@ class TestConfig:
 
 class TestFormatTable:
     def test_basic(self):
-        out = format_table(
-            [{"a": 1, "b": 0.51234}, {"a": 22, "b": 3.0}], title="T"
-        )
+        out = format_table([{"a": 1, "b": 0.51234}, {"a": 22, "b": 3.0}], title="T")
         assert "T" in out and "0.512" in out and "22" in out
 
     def test_empty(self):
@@ -60,7 +58,9 @@ class TestFormatTable:
 class TestRunners:
     def test_table1_rows_complete(self):
         rows, meta = run_table1_projection(
-            TINY, datasets=("Cardio",), detectors=("KNN",),
+            TINY,
+            datasets=("Cardio",),
+            detectors=("KNN",),
             methods=("original", "toeplitz"),
         )
         assert len(rows) == 2
@@ -101,13 +101,10 @@ class TestRunners:
         assert meta["chunk_factor"] == 4
 
     def test_table5_shape(self):
-        rows, meta = run_table5_full_system(
-            TINY, datasets=("Cardio",), t_list=(2, 4)
-        )
+        rows, meta = run_table5_full_system(TINY, datasets=("Cardio",), t_list=(2, 4))
         assert len(rows) == 2
         for r in rows:
-            for key in ("fit_B", "fit_S", "pred_B", "pred_S",
-                        "roc_avg_B", "roc_avg_S"):
+            for key in ("fit_B", "fit_S", "pred_B", "pred_S", "roc_avg_B", "roc_avg_S"):
                 assert key in r
 
     def test_fig3(self):

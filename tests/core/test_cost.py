@@ -8,7 +8,14 @@ from repro.core.cost import (
     model_embedding,
     train_cost_predictor,
 )
-from repro.detectors import HBOS, KNN, LOF, BaseDetector, IsolationForest, sample_model_pool
+from repro.detectors import (
+    HBOS,
+    KNN,
+    LOF,
+    BaseDetector,
+    IsolationForest,
+    sample_model_pool,
+)
 from repro.metrics import spearmanr
 
 

@@ -35,8 +35,9 @@ class TestConsensusCompetence:
 
     def test_consensus_member_scores_high(self, rng):
         base = rng.random(200)
-        S = np.stack([base + 0.01 * rng.random(200) for _ in range(4)]
-                     + [rng.random(200)])  # 4 agreeing + 1 noise
+        S = np.stack(
+            [base + 0.01 * rng.random(200) for _ in range(4)] + [rng.random(200)]
+        )  # 4 agreeing + 1 noise
         c = consensus_competence(S)
         assert c[:4].min() > c[4]
 
@@ -54,8 +55,14 @@ class TestTrimPool:
         assert all(kept[i] is pool[idx[i]] for i in range(6))
 
     def test_noise_models_trimmed(self, X):
-        pool = [KNN(n_neighbors=10), LOF(n_neighbors=10), HBOS(),
-                _Noise(1), _Noise(2), _Noise(3)]
+        pool = [
+            KNN(n_neighbors=10),
+            LOF(n_neighbors=10),
+            HBOS(),
+            _Noise(1),
+            _Noise(2),
+            _Noise(3),
+        ]
         kept, idx = trim_pool(pool, X, keep_fraction=0.5, random_state=0)
         # The three real detectors should survive over the noise ones.
         assert sum(isinstance(m, _Noise) for m in kept) <= 1

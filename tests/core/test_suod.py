@@ -179,9 +179,13 @@ class TestSUODScheduling:
     def test_bps_assignment_differs_from_generic(self, data):
         Xtr, *_ = data
         pool = sample_model_pool(16, max_n_neighbors=10, random_state=0)
-        bps = SUOD(pool, n_jobs=4, backend="simulated", bps_flag=True, random_state=0).fit(Xtr)
+        bps = SUOD(
+            pool, n_jobs=4, backend="simulated", bps_flag=True, random_state=0
+        ).fit(Xtr)
         pool2 = sample_model_pool(16, max_n_neighbors=10, random_state=0)
-        gen = SUOD(pool2, n_jobs=4, backend="simulated", bps_flag=False, random_state=0).fit(Xtr)
+        gen = SUOD(
+            pool2, n_jobs=4, backend="simulated", bps_flag=False, random_state=0
+        ).fit(Xtr)
         assert bps.fit_assignment_.shape == (16,)
         assert not np.array_equal(bps.fit_assignment_, gen.fit_assignment_)
 
@@ -206,7 +210,10 @@ class TestSUODScheduling:
                 return np.arange(len(models), dtype=float) + 1.0
 
         clf = SUOD(
-            fresh_pool(), n_jobs=2, backend="simulated",
-            cost_predictor=SpyCost(), random_state=0,
+            fresh_pool(),
+            n_jobs=2,
+            backend="simulated",
+            cost_predictor=SpyCost(),
+            random_state=0,
         ).fit(Xtr)
         assert SpyCost.calls >= 1

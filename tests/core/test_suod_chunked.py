@@ -40,9 +40,7 @@ def reference(data):
 class TestChunkHelpers:
     def test_slices_cover_in_order(self):
         slices = chunk_slices(10, 3)
-        assert [(s.start, s.stop) for s in slices] == [
-            (0, 3), (3, 6), (6, 9), (9, 10)
-        ]
+        assert [(s.start, s.stop) for s in slices] == [(0, 3), (3, 6), (6, 9), (9, 10)]
         assert n_chunks(10, 3) == 4
 
     def test_empty_and_validation(self):
@@ -64,9 +62,7 @@ class TestChunkHelpers:
 
     def test_scatter_shape_mismatch(self):
         with pytest.raises(ValueError):
-            scatter_chunk_results(
-                [np.zeros(3)], [(0, slice(0, 2))], 1, 2
-            )
+            scatter_chunk_results([np.zeros(3)], [(0, slice(0, 2))], 1, 2)
 
 
 class TestChunkedScoring:
@@ -76,8 +72,7 @@ class TestChunkedScoring:
             dict(batch_size=17),
             dict(batch_size=64, n_jobs=2, backend="threads"),
             dict(batch_size=17, n_jobs=3, backend="work_stealing"),
-            dict(batch_size=17, n_jobs=3, backend="work_stealing",
-                 bps_flag=False),
+            dict(batch_size=17, n_jobs=3, backend="work_stealing", bps_flag=False),
             dict(batch_size=17, n_jobs=2, backend="simulated"),
         ],
     )
@@ -107,7 +102,10 @@ class TestChunkedScoring:
     def test_predict_consistent_with_threshold(self, data):
         Xtr, Xte, ytr, yte = data
         clf = SUOD(
-            fresh_pool(), random_state=3, batch_size=31, n_jobs=2,
+            fresh_pool(),
+            random_state=3,
+            batch_size=31,
+            n_jobs=2,
             backend="work_stealing",
         ).fit(Xtr)
         pred = clf.predict(Xte)
@@ -116,7 +114,10 @@ class TestChunkedScoring:
     def test_work_stealing_telemetry_exposed(self, data):
         Xtr, Xte, ytr, yte = data
         clf = SUOD(
-            fresh_pool(), random_state=3, batch_size=17, n_jobs=3,
+            fresh_pool(),
+            random_state=3,
+            batch_size=17,
+            n_jobs=3,
             backend="work_stealing",
         ).fit(Xtr)
         clf.decision_function(Xte)
@@ -131,8 +132,12 @@ class TestChunkedScoring:
     def test_score_task_failure_propagates(self, data):
         Xtr, Xte, ytr, yte = data
         clf = SUOD(
-            fresh_pool(), random_state=3, batch_size=17, n_jobs=2,
-            backend="work_stealing", approx_flag_global=False,
+            fresh_pool(),
+            random_state=3,
+            batch_size=17,
+            n_jobs=2,
+            backend="work_stealing",
+            approx_flag_global=False,
         ).fit(Xtr)
         # Sabotage one fitted detector so its chunk tasks raise.
         clf.approximators_[0].detector.decision_function = None

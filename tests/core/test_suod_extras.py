@@ -63,9 +63,7 @@ class TestRPBookkeeping:
         assert clf.projectors_[0].n_components_ == 6  # 2/3 of 9
 
     def test_custom_fraction(self, X):
-        clf = SUOD(
-            [KNN(n_neighbors=5)], rp_target_fraction=0.5, random_state=0
-        ).fit(X)
+        clf = SUOD([KNN(n_neighbors=5)], rp_target_fraction=0.5, random_state=0).fit(X)
         assert clf.projectors_[0].n_components_ == 4  # 0.5 * 9 rounded
 
     def test_jl_family_forwarded(self, X):

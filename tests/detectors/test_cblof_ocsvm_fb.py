@@ -117,8 +117,12 @@ class TestFeatureBagging:
         assert all(isinstance(e, KNNCls) for e in det.estimators_)
 
     def test_combination_methods_differ(self, blobs):
-        avg = FeatureBagging(n_estimators=4, combination="average", random_state=0).fit(blobs)
-        mx = FeatureBagging(n_estimators=4, combination="max", random_state=0).fit(blobs)
+        avg = FeatureBagging(
+            n_estimators=4, combination="average", random_state=0
+        ).fit(blobs)
+        mx = FeatureBagging(n_estimators=4, combination="max", random_state=0).fit(
+            blobs
+        )
         assert not np.allclose(avg.decision_scores_, mx.decision_scores_)
 
     def test_deterministic(self, blobs):

@@ -90,7 +90,9 @@ class TestDetectorAPI:
         X, _ = data
         det = cls(**kwargs).fit(X)
         s = det.decision_function(X[:40])
-        np.testing.assert_array_equal(det.predict(X[:40]), (s > det.threshold_).astype(int))
+        np.testing.assert_array_equal(
+            det.predict(X[:40]), (s > det.threshold_).astype(int)
+        )
 
     def test_detects_planted_outliers(self, data, cls, kwargs):
         from repro.metrics import roc_auc_score

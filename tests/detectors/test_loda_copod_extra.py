@@ -20,11 +20,15 @@ class TestLODAExtra:
         y = np.zeros(300, dtype=int)
         y[:30] = 1
         few = [
-            roc_auc_score(y, LODA(n_projections=5, random_state=s).fit(X).decision_scores_)
+            roc_auc_score(
+                y, LODA(n_projections=5, random_state=s).fit(X).decision_scores_
+            )
             for s in range(5)
         ]
         many = [
-            roc_auc_score(y, LODA(n_projections=150, random_state=s).fit(X).decision_scores_)
+            roc_auc_score(
+                y, LODA(n_projections=150, random_state=s).fit(X).decision_scores_
+            )
             for s in range(5)
         ]
         assert np.std(many) <= np.std(few) + 0.02

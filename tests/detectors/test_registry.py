@@ -52,8 +52,11 @@ class TestFamilies:
         assert not is_costly(IsolationForest())
 
     def test_family_index_stable_and_distinct(self):
-        idx = {family_index(cls()) if name not in ("OCSVM",) else None
-               for name, (cls, _) in FAMILIES.items() if name != "OCSVM"}
+        idx = {
+            family_index(cls()) if name not in ("OCSVM",) else None
+            for name, (cls, _) in FAMILIES.items()
+            if name != "OCSVM"
+        }
         idx.discard(None)
         assert len(idx) == len(FAMILIES) - 1
 
@@ -75,7 +78,9 @@ class TestModelPool:
         assert {family_of(m) for m in pool} <= {"KNN", "LOF", "AvgKNN", "MedKNN"}
 
     def test_max_n_neighbors_clipped(self):
-        pool = sample_model_pool(40, families=["KNN"], max_n_neighbors=7, random_state=0)
+        pool = sample_model_pool(
+            40, families=["KNN"], max_n_neighbors=7, random_state=0
+        )
         assert all(m.n_neighbors <= 7 for m in pool)
 
     def test_deterministic(self):

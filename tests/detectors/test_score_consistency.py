@@ -34,7 +34,9 @@ def X():
     return rng.standard_normal((150, 6))
 
 
-@pytest.mark.parametrize("cls,kwargs", MEMORYLESS, ids=[c.__name__ for c, _ in MEMORYLESS])
+@pytest.mark.parametrize(
+    "cls,kwargs", MEMORYLESS, ids=[c.__name__ for c, _ in MEMORYLESS]
+)
 def test_memoryless_scores_match_training(X, cls, kwargs):
     det = cls(**kwargs).fit(X)
     np.testing.assert_allclose(

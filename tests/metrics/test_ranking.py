@@ -24,9 +24,7 @@ class TestRocAuc:
         y[0], y[1] = 0, 1  # both classes present
         s = rng.random(50)
         pos, neg = s[y == 1], s[y == 0]
-        manual = np.mean(
-            [(p > n) + 0.5 * (p == n) for p in pos for n in neg]
-        )
+        manual = np.mean([(p > n) + 0.5 * (p == n) for p in pos for n in neg])
         assert roc_auc_score(y, s) == pytest.approx(manual)
 
     def test_tie_handling(self):

@@ -50,4 +50,5 @@ class TestRankSumDeviation:
 
     def test_single_worker_always_zero(self):
         ranks = np.arange(1, 8)
-        assert rank_sum_deviation(ranks, np.zeros(7, dtype=int), 1) == pytest.approx(0.0)
+        dev = rank_sum_deviation(ranks, np.zeros(7, dtype=int), 1)
+        assert dev == pytest.approx(0.0)

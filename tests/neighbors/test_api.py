@@ -26,9 +26,7 @@ class TestNearestNeighbors:
         assert nn._engine == "brute"
 
     def test_auto_dispatch_non_euclidean(self, rng):
-        nn = NearestNeighbors(3, metric="manhattan").fit(
-            rng.standard_normal((500, 4))
-        )
+        nn = NearestNeighbors(3, metric="manhattan").fit(rng.standard_normal((500, 4)))
         assert nn._engine == "brute"
 
     def test_kdtree_non_euclidean_rejected(self, rng):

@@ -88,9 +88,7 @@ class TestSimulatedCluster:
     def test_virtual_makespan_is_max_group_sum(self):
         costs = [3.0, 1.0, 2.0, 2.0]
         tasks = make_tasks([0, 0, 0, 0])
-        res = SimulatedClusterBackend(2).execute(
-            tasks, [0, 0, 1, 1], known_costs=costs
-        )
+        res = SimulatedClusterBackend(2).execute(tasks, [0, 0, 1, 1], known_costs=costs)
         assert res.wall_time == 4.0
         np.testing.assert_allclose(res.worker_times, [4.0, 4.0])
 
@@ -181,9 +179,7 @@ class TestExecutionResultMerge:
         assert merged.total_steals == r1.total_steals + r2.total_steals
         assert merged.total_steals > 0
         assert merged.wall_time == pytest.approx(r1.wall_time + r2.wall_time)
-        np.testing.assert_allclose(
-            merged.idle_times, r1.idle_times + r2.idle_times
-        )
+        np.testing.assert_allclose(merged.idle_times, r1.idle_times + r2.idle_times)
         np.testing.assert_array_equal(
             merged.steal_counts, r1.steal_counts + r2.steal_counts
         )

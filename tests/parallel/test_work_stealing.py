@@ -90,9 +90,7 @@ class TestVirtualReplay:
         # with, and here it reaches the optimum.
         costs = np.array([10.0] + [1.0] * 9)
         a = generic_schedule(10, 2)
-        static = SimulatedClusterBackend(2).execute(
-            [None] * 10, a, known_costs=costs
-        )
+        static = SimulatedClusterBackend(2).execute([None] * 10, a, known_costs=costs)
         ws = WorkStealingBackend(2).execute([None] * 10, a, known_costs=costs)
         assert static.wall_time == 14.0
         assert ws.wall_time == 10.0  # OPT: [10] vs [1]*9 + one steal back
@@ -108,9 +106,7 @@ class TestVirtualReplay:
                 static = SimulatedClusterBackend(t).execute(
                     [None] * m, a, known_costs=costs
                 )
-                ws = WorkStealingBackend(t).execute(
-                    [None] * m, a, known_costs=costs
-                )
+                ws = WorkStealingBackend(t).execute([None] * m, a, known_costs=costs)
                 assert ws.wall_time <= static.wall_time * (1 + 1e-12)
 
     def test_within_list_scheduling_bound(self):
@@ -137,19 +133,13 @@ class TestVirtualReplay:
         res = WorkStealingBackend(2).execute(
             [None] * 4, [0, 0, 1, 1], known_costs=costs
         )
-        np.testing.assert_allclose(
-            res.worker_times + res.idle_times, res.wall_time
-        )
+        np.testing.assert_allclose(res.worker_times + res.idle_times, res.wall_time)
 
     def test_known_costs_validation(self):
         with pytest.raises(ValueError):
-            WorkStealingBackend(2).execute(
-                [None] * 2, [0, 1], known_costs=[1.0]
-            )
+            WorkStealingBackend(2).execute([None] * 2, [0, 1], known_costs=[1.0])
         with pytest.raises(ValueError):
-            WorkStealingBackend(2).execute(
-                [None] * 2, [0, 1], known_costs=[1.0, -2.0]
-            )
+            WorkStealingBackend(2).execute([None] * 2, [0, 1], known_costs=[1.0, -2.0])
 
 
 class TestRegistry:

@@ -121,16 +121,19 @@ class TestSuodPlans:
         plan = SUOD(make_pool(), random_state=0).build_fit_plan(Xtr)
         assert plan.kind == "fit"
         assert plan.stage_names == [
-            "project", "forecast", "schedule", "execute", "approximate", "combine",
+            "project",
+            "forecast",
+            "schedule",
+            "execute",
+            "approximate",
+            "combine",
         ]
         assert plan.meta["grain"] == "model"
         assert plan.completed == []
 
     def test_partial_fit_plan_previews_assignment_without_fitting(self, data):
         Xtr, _ = data
-        clf = SUOD(
-            make_pool(), n_jobs=3, backend="threads", random_state=0
-        )
+        clf = SUOD(make_pool(), n_jobs=3, backend="threads", random_state=0)
         plan = clf.build_fit_plan(Xtr)
         PlanRunner().run(plan, until="schedule")
         assert plan.completed == ["project", "forecast", "schedule"]
@@ -164,7 +167,10 @@ class TestSuodPlans:
     def test_predict_plan_chunked_grain(self, data):
         Xtr, Xte = data
         clf = SUOD(
-            make_pool(), n_jobs=2, backend="threads", batch_size=32,
+            make_pool(),
+            n_jobs=2,
+            backend="threads",
+            batch_size=32,
             random_state=0,
         ).fit(Xtr)
         plan = clf.build_predict_plan(Xte)
@@ -228,9 +234,7 @@ class TestSuodPlans:
 
     def test_facade_releases_plan_data_but_keeps_telemetry(self, data):
         Xtr, Xte = data
-        clf = SUOD(
-            make_pool(), n_jobs=2, backend="threads", random_state=0
-        ).fit(Xtr)
+        clf = SUOD(make_pool(), n_jobs=2, backend="threads", random_state=0).fit(Xtr)
         clf.decision_function(Xte)
         for plan in (clf.fit_plan_, clf.predict_plan_):
             assert plan.report_for("execute") is not None
@@ -284,12 +288,7 @@ def _reference_scores(pool, Xtr, Xte, random_state=0):
     k = jl_target_dim(d, 2.0 / 3.0)
     projectors = []
     for i, est in enumerate(pool):
-        use_rp = (
-            family_of(est) not in RP_NG_FAMILIES
-            and d >= 4
-            and n >= 30
-            and k < d
-        )
+        use_rp = (family_of(est) not in RP_NG_FAMILIES and d >= 4 and n >= 30 and k < d)
         proj = (
             JLProjector(k, family="toeplitz", random_state=seeds[i])
             if use_rp

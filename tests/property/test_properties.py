@@ -34,9 +34,7 @@ finite_floats = st.floats(
 @st.composite
 def binary_problem(draw):
     n = draw(st.integers(5, 60))
-    scores = draw(
-        arrays(np.float64, n, elements=st.floats(-100, 100, allow_nan=False))
-    )
+    scores = draw(arrays(np.float64, n, elements=st.floats(-100, 100, allow_nan=False)))
     # Quantise so affine transforms (scale * s + shift) cannot merge
     # distinct scores through float rounding and so create new ties.
     scores = np.round(scores, 6)

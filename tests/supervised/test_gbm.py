@@ -26,9 +26,7 @@ class TestGBM:
 
     def test_single_stage_is_shrunk_tree_plus_mean(self, regression_data):
         X, y = regression_data
-        gbm = GradientBoostingRegressor(
-            1, learning_rate=0.5, random_state=0
-        ).fit(X, y)
+        gbm = GradientBoostingRegressor(1, learning_rate=0.5, random_state=0).fit(X, y)
         tree_pred = gbm.estimators_[0].predict(X)
         np.testing.assert_allclose(gbm.predict(X), y.mean() + 0.5 * tree_pred)
 
@@ -41,15 +39,17 @@ class TestGBM:
 
     def test_learning_rate_tradeoff(self, regression_data):
         X, y = regression_data
-        fast = GradientBoostingRegressor(10, learning_rate=0.5, random_state=0).fit(X, y)
-        slow = GradientBoostingRegressor(10, learning_rate=0.01, random_state=0).fit(X, y)
+        fast = GradientBoostingRegressor(10, learning_rate=0.5, random_state=0).fit(
+            X, y
+        )
+        slow = GradientBoostingRegressor(10, learning_rate=0.01, random_state=0).fit(
+            X, y
+        )
         assert fast.train_score_[-1] < slow.train_score_[-1]
 
     def test_subsample_stochastic(self, regression_data):
         X, y = regression_data
-        gbm = GradientBoostingRegressor(
-            15, subsample=0.5, random_state=0
-        ).fit(X, y)
+        gbm = GradientBoostingRegressor(15, subsample=0.5, random_state=0).fit(X, y)
         assert gbm.score(X, y) > 0.6
 
     def test_deterministic(self, regression_data):

@@ -36,7 +36,12 @@ class TestPlanCommand:
         # All six stages named, with the planning prefix done and the
         # training stages left pending (nothing was fitted).
         for stage in (
-            "project", "forecast", "schedule", "execute", "approximate", "combine",
+            "project",
+            "forecast",
+            "schedule",
+            "execute",
+            "approximate",
+            "combine",
         ):
             assert stage in out
         assert "pending" in out and "done" in out
@@ -52,7 +57,11 @@ class TestPlanCommand:
         payload = json.loads(capsys.readouterr().out)
         plan = payload["predict"]
         assert [s["name"] for s in plan["stages"]] == [
-            "project", "forecast", "schedule", "execute", "combine",
+            "project",
+            "forecast",
+            "schedule",
+            "execute",
+            "combine",
         ]
         assert len(plan["assignment"]) == 4
         assert len(plan["forecast_costs"]) == 4
@@ -61,9 +70,7 @@ class TestPlanCommand:
     def test_generic_split_has_no_costs(self, capsys):
         import json
 
-        assert main(
-            ["plan", "--no-bps", "--format", "json", *self._fast]
-        ) == 0
+        assert main(["plan", "--no-bps", "--format", "json", *self._fast]) == 0
         plan = json.loads(capsys.readouterr().out)["fit"]
         assert plan["forecast_costs"] is None
         assert len(plan["assignment"]) == 4

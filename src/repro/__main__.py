@@ -8,11 +8,18 @@ Usage::
     python -m repro fig3
     python -m repro all --scale 0.05
     python -m repro plan [--phase fit|predict|both] [--format table|json]
+    python -m repro scaling [--quick] [--json out.json]
 
 ``plan`` is not an experiment: it compiles a SUOD fit/predict pass into
 its :class:`~repro.pipeline.ExecutionPlan` and prints the stages, the
 forecast per-task costs, and the chosen worker assignment — without
 training anything (fit plans stop after the schedule stage).
+
+``scaling`` runs the backend-scaling benchmark (sequential vs threads vs
+work stealing vs pickling processes vs shared-memory processes, across
+worker counts) and can emit its rows as machine-readable JSON — the
+format committed as ``BENCH_pr3.json`` and uploaded by the CI
+``bench-smoke`` job, so the perf trajectory accumulates over PRs.
 
 Experiments honour the same REPRO_* environment variables as the
 benchmark suite; CLI flags override them.
@@ -34,6 +41,7 @@ from repro.bench.ablations import (
     run_scheduler_ablation,
 )
 from repro.bench.runners import (
+    run_backend_scaling,
     run_claims_case,
     run_dynamic_scheduling,
     run_fig3_decision_surface,
@@ -59,7 +67,14 @@ EXPERIMENTS = {
     "approximators": (run_approximator_ablation, "A4 — approximator ablation"),
 }
 
-_BACKENDS = ("sequential", "threads", "processes", "simulated", "work_stealing")
+_BACKENDS = (
+    "sequential",
+    "threads",
+    "processes",
+    "shm_processes",
+    "simulated",
+    "work_stealing",
+)
 
 
 def _task_labels(plan, estimators) -> list[str]:
@@ -187,6 +202,114 @@ def run_plan_command(argv=None) -> int:
     return 0
 
 
+def run_scaling_command(argv=None) -> int:
+    """``python -m repro scaling``: the backend-scaling benchmark."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scaling",
+        description=(
+            "Time a fixed fit+predict workload through every execution "
+            "backend across worker counts, verify bitwise-identical "
+            "scores, and optionally write the rows as JSON (the format "
+            "of BENCH_pr3.json and of the CI bench-smoke artifact)."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: smaller data, worker counts (1, 2, 4), 5 repeats",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="write rows + meta as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated worker counts, e.g. 1,2,4",
+    )
+    parser.add_argument("--n-train", type=int, default=None)
+    parser.add_argument("--n-test", type=int, default=None)
+    parser.add_argument("--models", type=int, default=None, help="pool size m")
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="row-chunk scoring grain"
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--predict-batches",
+        type=int,
+        default=None,
+        help="serve the test set in this many consecutive batches",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    kwargs = {"seed": args.seed, "batch_size": args.batch_size}
+    if args.quick:
+        kwargs.update(
+            worker_counts=(1, 2, 4),
+            n_train=3000,
+            n_test=16000,
+            n_models=8,
+            repeats=5,
+        )
+    if args.workers is not None:
+        kwargs["worker_counts"] = tuple(
+            int(w) for w in args.workers.split(",") if w.strip()
+        )
+    if args.n_train is not None:
+        kwargs["n_train"] = args.n_train
+    if args.n_test is not None:
+        kwargs["n_test"] = args.n_test
+    if args.models is not None:
+        kwargs["n_models"] = args.models
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    if args.predict_batches is not None:
+        kwargs["predict_batches"] = args.predict_batches
+
+    t0 = time.perf_counter()
+    rows, meta = run_backend_scaling(get_config(), **kwargs)
+    elapsed = time.perf_counter() - t0
+
+    payload = {"meta": meta, "rows": rows}
+    if args.json_path == "-":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(meta["config"])
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "backend",
+                    "n_workers",
+                    "fit_s",
+                    "predict_s",
+                    "total_s",
+                    "speedup_vs_sequential",
+                    "identical",
+                ],
+                title="\nBackend scaling — fit + predict wall clock",
+            )
+        )
+        ratio = meta["shm_speedup_vs_processes"]
+        if ratio is not None:
+            print(
+                f"\nshm_processes vs processes (t={meta['shm_speedup_worker_count']}): "
+                f"{ratio:.2f}x faster"
+            )
+        print(f"scores identical across backends: {meta['scores_identical']}")
+        print(f"[scaling done in {elapsed:.1f}s]")
+    if args.json_path and args.json_path != "-":
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_path}")
+    return 0 if meta["scores_identical"] else 1
+
+
 def _print_experiment(name: str, cfg) -> None:
     runner, title = EXPERIMENTS[name]
     print(f"\n=== {title} ===")
@@ -206,11 +329,14 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "plan":
         return run_plan_command(argv[1:])
+    if argv and argv[0] == "scaling":
+        return run_scaling_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
             "Regenerate the SUOD paper's tables and figures; "
-            "'plan' inspects fit/predict execution plans."
+            "'plan' inspects fit/predict execution plans; 'scaling' "
+            "benchmarks the execution backends."
         ),
     )
     parser.add_argument(
@@ -218,7 +344,7 @@ def main(argv=None) -> int:
         choices=sorted(EXPERIMENTS) + ["list", "all"],
         help=(
             "experiment id ('list' to enumerate, 'all' to run everything; "
-            "see also the 'plan' subcommand)"
+            "see also the 'plan' and 'scaling' subcommands)"
         ),
     )
     parser.add_argument("--scale", type=float, help="dataset scale in (0, 1]")
@@ -233,6 +359,10 @@ def main(argv=None) -> int:
         print(
             f"{'plan':14s} Inspect a fit/predict ExecutionPlan "
             "(python -m repro plan --help)"
+        )
+        print(
+            f"{'scaling':14s} Backend scaling benchmark "
+            "(python -m repro scaling --help)"
         )
         return 0
 

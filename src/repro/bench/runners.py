@@ -27,6 +27,7 @@ from repro.data import (
 from repro.data.benchmark import TABLE_A1
 from repro.detectors import (
     ABOD,
+    HBOS,
     KNN,
     LOF,
     AvgKNN,
@@ -35,7 +36,7 @@ from repro.detectors import (
     sample_model_pool,
 )
 from repro.metrics import makespan, precision_at_n, roc_auc_score
-from repro.parallel import WorkStealingBackend
+from repro.parallel import WorkStealingBackend, chunk_slices
 from repro.pipeline import PlanRunner
 from repro.projection import PROJECTION_METHODS, jl_target_dim, make_projector
 from repro.supervised import RandomForestRegressor
@@ -49,6 +50,7 @@ __all__ = [
     "run_claims_case",
     "run_dynamic_scheduling",
     "run_plan_overhead",
+    "run_backend_scaling",
 ]
 
 
@@ -636,3 +638,195 @@ def run_claims_case(cfg: BenchConfig, *, n_workers: int = 10):
         },
     ]
     return rows, {"config": cfg.describe(), "n_claims": n, "paper_n": 123720}
+
+
+# ---------------------------------------------------------------------------
+# Backend scaling — sequential vs threads vs work stealing vs processes
+# vs shm processes, across worker counts (the perf trajectory benchmark)
+# ---------------------------------------------------------------------------
+SCALING_BACKENDS = (
+    "sequential",
+    "threads",
+    "work_stealing",
+    "processes",
+    "shm_processes",
+)
+
+
+def _scaling_pool(n_models: int, seed: int) -> list:
+    """A deliberately transport-bound pool for the scaling benchmark.
+
+    HBOS scores at near-memcpy cost per byte (one ``searchsorted`` per
+    feature), so the measured walls are dominated by what this
+    benchmark is actually about — the execution engine's pool spawn,
+    dispatch, and data-transport costs — rather than by model compute
+    that no engine can parallelise away on a loaded host. A compute-
+    heavy pool (kNN, ABOD) would bury a 50 ms transport regression
+    under seconds of arithmetic. HBOS is also RP-exempt, which makes
+    the shm plane's dedup visible: every space is the same ``X``
+    object, materialised as one shared segment.
+    """
+    bin_counts = (10, 20, 30, 40)
+    return [HBOS(n_bins=bin_counts[i % len(bin_counts)]) for i in range(n_models)]
+
+
+def run_backend_scaling(
+    cfg: BenchConfig,
+    *,
+    backends: tuple = SCALING_BACKENDS,
+    worker_counts: tuple = (1, 2, 4),
+    n_train: int = 3000,
+    n_test: int = 24000,
+    n_features: int = 16,
+    n_models: int = 12,
+    batch_size: int | None = None,
+    repeats: int | None = None,
+    predict_batches: int = 4,
+    seed: int = 0,
+):
+    """Fit + predict wall clock for every backend × worker count.
+
+    One long-lived estimator per configuration runs ``repeats`` full
+    fit + predict passes; the reported walls are the per-phase minima
+    (best-of), which is the stable statistic on a shared host. The
+    predict phase scores the test set in ``predict_batches``
+    consecutive row batches — the serving pattern the ROADMAP targets —
+    so per-call engine costs (a pickling backend spawns its pool on
+    *every* execute; a persistent pool stays warm) are weighted as a
+    request stream weights them, not amortised into one giant call.
+    Batch boundaries never change the numbers: per-row scoring is
+    batch-separable, and the concatenated batch scores are compared
+    bitwise against a single-pass sequential reference. Pools that
+    persist across calls (``shm_processes``) keep their workers warm
+    between batches and repeats — that persistence is part of what the
+    benchmark measures. Every configuration's ``decision_scores_`` and
+    test scores are checked bitwise against the sequential reference;
+    a mismatch poisons the row (``identical=False``) and the meta flag.
+
+    Returns rows of ``{backend, n_workers, fit_s, predict_s, total_s,
+    speedup_vs_sequential, identical}`` plus a meta dict carrying the
+    generating config, host facts, and the headline
+    ``shm_speedup_vs_processes`` ratio at the largest worker count
+    where both ran.
+    """
+    import os
+    import platform
+
+    if repeats is None:
+        repeats = max(2, cfg.trials)
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if predict_batches < 1:
+        raise ValueError("predict_batches must be >= 1")
+    if not worker_counts or any(t < 1 for t in worker_counts):
+        raise ValueError("worker_counts must be non-empty positive ints")
+    Xtr, _ = make_outlier_dataset(
+        n_train, n_features, contamination=0.1, random_state=seed
+    )
+    Xte, _ = make_outlier_dataset(
+        n_test, n_features, contamination=0.1, random_state=seed + 1
+    )
+
+    def fresh_clf(backend: str, t: int) -> SUOD:
+        return SUOD(
+            _scaling_pool(n_models, seed),
+            n_jobs=t,
+            backend=backend,
+            batch_size=batch_size,
+            approx_flag_global=False,  # measure the engine, not PSA
+            random_state=seed,
+        )
+
+    ref = fresh_clf("sequential", 1).fit(Xtr)
+    ref_train = ref.decision_scores_
+    ref_test = ref.decision_function(Xte)
+
+    batch_rows = -(-n_test // max(1, predict_batches))
+    batch_slices = chunk_slices(n_test, batch_rows)
+
+    def serve(clf: SUOD) -> np.ndarray:
+        if len(batch_slices) == 1:
+            return clf.decision_function(Xte)
+        return np.concatenate([clf.decision_function(Xte[sl]) for sl in batch_slices])
+
+    configs = []
+    for backend in backends:
+        if backend == "sequential":
+            configs.append((backend, 1))
+        else:
+            configs.extend((backend, t) for t in worker_counts if t > 1)
+
+    rows = []
+    all_identical = True
+    for backend, t in configs:
+        clf = fresh_clf(backend, t)
+        fit_s = predict_s = float("inf")
+        identical = True
+        try:
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                clf.fit(Xtr)
+                fit_s = min(fit_s, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                scores = serve(clf)
+                predict_s = min(predict_s, time.perf_counter() - t0)
+                identical = (
+                    identical
+                    and np.array_equal(clf.decision_scores_, ref_train)
+                    and np.array_equal(scores, ref_test)
+                )
+        finally:
+            clf.close()
+        all_identical = all_identical and identical
+        rows.append(
+            {
+                "backend": backend,
+                "n_workers": t,
+                "fit_s": fit_s,
+                "predict_s": predict_s,
+                "total_s": fit_s + predict_s,
+                "identical": identical,
+            }
+        )
+
+    seq_total = next(r["total_s"] for r in rows if r["backend"] == "sequential")
+    for r in rows:
+        r["speedup_vs_sequential"] = seq_total / r["total_s"]
+
+    def _total(backend: str, t: int) -> float | None:
+        for r in rows:
+            if r["backend"] == backend and r["n_workers"] == t:
+                return r["total_s"]
+        return None
+
+    shm_vs_procs = None
+    largest_t = None
+    for t in sorted({r["n_workers"] for r in rows}, reverse=True):
+        procs, shm = _total("processes", t), _total("shm_processes", t)
+        if procs is not None and shm is not None:
+            shm_vs_procs = procs / shm
+            largest_t = t
+            break
+
+    meta = {
+        "config": cfg.describe(),
+        "benchmark": "backend_scaling",
+        "n_train": n_train,
+        "n_test": n_test,
+        "n_features": n_features,
+        "n_models": n_models,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "predict_batches": predict_batches,
+        "seed": seed,
+        "worker_counts": list(worker_counts),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "scores_identical": all_identical,
+        "shm_speedup_vs_processes": shm_vs_procs,
+        "shm_speedup_worker_count": largest_t,
+    }
+    return rows, meta

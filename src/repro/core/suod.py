@@ -49,6 +49,8 @@ from repro.parallel import (
     ExecutionResult,
     chunk_slices,
     get_backend,
+    get_backend_class,
+    resolve_array,
     scatter_chunk_results,
 )
 from repro.pipeline import ExecutionPlan, PlanContext, PlanRunner, Stage
@@ -65,14 +67,30 @@ RP_NG_FAMILIES = frozenset({"IsolationForest", "HBOS", "LODA", "COPOD", "PCAD"})
 _COMBINERS = ("average", "maximization", "moa")
 
 
-def _fit_one(estimator: BaseDetector, X: np.ndarray) -> BaseDetector:
-    """Module-level fit task (must be picklable for the process backend)."""
-    return estimator.fit(X)
+def _fit_one(estimator: BaseDetector, X) -> BaseDetector:
+    """Module-level fit task (must be picklable for the process backends).
+
+    ``X`` is either an ndarray (in-memory backends) or a
+    :class:`~repro.parallel.SharedArrayHandle` the worker resolves to a
+    read-only view of the shared segment (shm process backend).
+    """
+    return estimator.fit(resolve_array(X))
 
 
-def _score_one(scorer, X: np.ndarray) -> np.ndarray:
-    """Module-level predict task."""
-    return scorer.decision_function(X)
+def _score_one(scorer, X) -> np.ndarray:
+    """Module-level predict task (ndarray or shared-array handle)."""
+    return scorer.decision_function(resolve_array(X))
+
+
+def _score_slice(scorer, X, sl: slice) -> np.ndarray:
+    """Chunked predict task: score ``X[sl]`` worker-side.
+
+    With a shared-array handle the row block is sliced off the attached
+    view, so a (model × chunk) task ships only (handle, slice) — no row
+    data crosses the process boundary in either direction except the
+    chunk's scores.
+    """
+    return scorer.decision_function(resolve_array(X)[sl])
 
 
 class SUOD:
@@ -106,25 +124,32 @@ class SUOD:
         trained :class:`repro.core.cost.CostPredictor` for learned costs.
     n_jobs : int, default 1
         Worker count t.
-    backend : {'sequential', 'threads', 'processes', 'simulated', 'work_stealing'}
+    backend : {'sequential', 'threads', 'processes', 'shm_processes', \
+'simulated', 'work_stealing'}
         Execution backend (see :mod:`repro.parallel`). With ``n_jobs=1``
         the sequential backend is always used. ``'work_stealing'`` keeps
         the BPS/generic assignment as a locality hint but lets idle
         workers steal queued tasks at runtime, which recovers from bad
-        cost forecasts.
+        cost forecasts. ``'shm_processes'`` runs processes over a
+        shared-memory data plane: the plan runner materialises ``X``'s
+        projected spaces into shared segments once, task payloads carry
+        handles instead of array copies, and a persistent worker pool
+        is reused across fit/predict and repeated scoring batches.
     batch_size : int or None, default None
         Row-chunk size for scoring. When set, ``decision_function`` /
         ``predict`` split ``X`` into blocks of at most ``batch_size``
         rows and schedule (model × chunk) tasks instead of one task per
         model — a finer grain that packs workers tighter and bounds
         per-task memory. Chunked scores are bitwise identical to
-        unchunked ones (per-row scorers are row-separable). Fitting
-        keeps the per-model grain: detector training couples all rows,
-        so a train-time row split would change the models themselves.
-        Prefer the ``threads``/``work_stealing`` backends for chunked
-        scoring; under ``processes`` a model whose chunks span workers
-        is pickled once per worker group it appears in (up to
-        ``n_jobs`` times) rather than once.
+        unchunked ones (per-row scorers are row-separable), under every
+        backend. Fitting keeps the per-model grain: detector training
+        couples all rows, so a train-time row split would change the
+        models themselves. Chunking pairs naturally with
+        ``threads``/``work_stealing`` and with ``shm_processes``, where
+        a chunk task ships only (handle, slice) and each worker slices
+        rows off its attached view; under plain ``processes`` each
+        chunk task pickles its row block, so the finer grain multiplies
+        copies.
     combination : {'average', 'maximization', 'moa'}, default 'average'
         Combiner for the final score (the paper reports Avg and MOA).
     standardisation : {'ecdf', 'zscore'}, default 'ecdf'
@@ -221,13 +246,54 @@ class SUOD:
             print(f"[SUOD] {msg}")
 
     def _make_backend(self):
+        """The active backend instance, cached across plan stages.
+
+        Caching matters for pool-holding backends (``shm_processes``):
+        the fit execute, predict execute, and every subsequent scoring
+        batch reuse one warm worker pool instead of spawning processes
+        per stage. The cache is invalidated when ``backend``/``n_jobs``
+        change, dropped from pickles, and closed via :meth:`close`.
+        """
+        key = (self._effective_backend, self.n_jobs)
+        if getattr(self, "_backend_key_", None) == key:
+            return self._backend_instance_
+        self.close()
         if self.n_jobs == 1:
-            return get_backend("sequential")
-        return get_backend(self.backend, n_workers=self.n_jobs)
+            backend = get_backend("sequential")
+        else:
+            backend = get_backend(self.backend, n_workers=self.n_jobs)
+        self._backend_instance_ = backend
+        self._backend_key_ = key
+        return backend
+
+    def close(self) -> None:
+        """Shut down the cached backend's worker pool, if it holds one.
+
+        Safe to call at any time (idempotent); the next fit/predict
+        simply builds a fresh backend. Long-lived services should call
+        this when retiring an estimator so pooled worker processes do
+        not linger until garbage collection.
+        """
+        backend = getattr(self, "_backend_instance_", None)
+        if backend is not None and hasattr(backend, "shutdown"):
+            backend.shutdown()
+        self._backend_instance_ = None
+        self._backend_key_ = None
 
     @property
     def _effective_backend(self) -> str:
         return "sequential" if self.n_jobs == 1 else self.backend
+
+    @property
+    def _uses_shm(self) -> bool:
+        """Whether the active backend wants plan data in shared memory."""
+        return bool(
+            getattr(
+                get_backend_class(self._effective_backend),
+                "uses_shared_memory",
+                False,
+            )
+        )
 
     def _cost_predictor(self):
         """The single selection point for the active cost predictor."""
@@ -255,6 +321,7 @@ class SUOD:
             "n_tasks": n_tasks,
             "bps": self.bps_flag,
             "batch_size": self.batch_size,
+            "shm": self._uses_shm,
         }
 
     def build_fit_plan(self, X) -> ExecutionPlan:
@@ -310,6 +377,7 @@ class SUOD:
             stages=stages,
             context=ctx,
             meta=self._plan_meta(grain="model", n_tasks=self.n_models),
+            shm_keys=("spaces",) if self._uses_shm else (),
         )
         self.fit_plan_ = plan
         return plan
@@ -377,6 +445,7 @@ class SUOD:
             meta=self._plan_meta(
                 grain="model x chunk" if chunked else "model", n_tasks=n_tasks
             ),
+            shm_keys=("spaces",) if self._uses_shm else (),
         )
         self.predict_plan_ = plan
         return plan
@@ -476,8 +545,12 @@ class SUOD:
 
     def _fit_stage_execute(self, ctx: PlanContext) -> dict:
         """BPS + execution (Algorithm 1 lines 9-13)."""
+        # With the shm data plane, tasks bind tiny segment handles (the
+        # runner materialised ctx.spaces into the arena); otherwise they
+        # bind the arrays themselves.
+        data = ctx.get("shared_spaces") or ctx.spaces
         tasks = [
-            functools.partial(_fit_one, est, ctx.spaces[i])
+            functools.partial(_fit_one, est, data[i])
             for i, est in enumerate(self.base_estimators)
         ]
         backend = self._make_backend()
@@ -543,14 +616,28 @@ class SUOD:
         return {"n_projected": int(self.rp_flags_.sum())}
 
     def _predict_stage_execute(self, ctx: PlanContext) -> dict:
+        shared = ctx.get("shared_spaces")
         if ctx.owners is not None:
-            tasks = [
-                functools.partial(_score_one, self.approximators_[i], ctx.spaces[i][sl])
-                for i, sl in ctx.owners
-            ]
+            if shared is not None:
+                # (model × chunk) through processes: ship (handle, slice)
+                # and cut the row block off the attached view worker-side.
+                tasks = [
+                    functools.partial(
+                        _score_slice, self.approximators_[i], shared[i], sl
+                    )
+                    for i, sl in ctx.owners
+                ]
+            else:
+                tasks = [
+                    functools.partial(
+                        _score_one, self.approximators_[i], ctx.spaces[i][sl]
+                    )
+                    for i, sl in ctx.owners
+                ]
         else:
+            data = shared if shared is not None else ctx.spaces
             tasks = [
-                functools.partial(_score_one, approx, ctx.spaces[i])
+                functools.partial(_score_one, approx, data[i])
                 for i, approx in enumerate(self.approximators_)
             ]
         backend = self._make_backend()
@@ -675,7 +762,15 @@ class SUOD:
         # last scored batch, so keeping it would make pickles scale with
         # whatever X was scored last. Pickles must not drag data along.
         state = self.__dict__.copy()
-        for key in ("fit_plan_", "predict_plan_", "fit_result_", "predict_result_"):
+        for key in (
+            "fit_plan_",
+            "predict_plan_",
+            "fit_result_",
+            "predict_result_",
+            # Backend instances may hold live worker pools — never pickle.
+            "_backend_instance_",
+            "_backend_key_",
+        ):
             state.pop(key, None)
         return state
 

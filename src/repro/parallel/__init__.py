@@ -16,7 +16,12 @@ interface:
 - :class:`WorkStealingBackend` — dynamic scheduling: per-worker deques
   seeded by the static assignment, with runtime stealing when a queue
   runs dry. Also supports a deterministic virtual-clock replay
-  (``known_costs=...``) for static-vs-dynamic comparisons.
+  (``known_costs=...``) for static-vs-dynamic comparisons;
+- :class:`SharedMemoryProcessBackend` — processes with a *persistent*
+  worker pool and zero-copy data transport: task payloads reference
+  arrays through :class:`SharedArrayHandle` descriptors into a
+  :class:`SharedMemoryArena`, each worker attaches a segment once and
+  scores read-only views off it (see :mod:`repro.parallel.shm`).
 
 Static backends take a pre-computed ``assignment`` (task -> worker), so
 the scheduling policy (generic vs BPS) stays a separate, testable
@@ -33,9 +38,17 @@ from repro.parallel.execution import (
     ProcessBackend,
     SimulatedClusterBackend,
     get_backend,
+    get_backend_class,
     register_backend,
 )
 from repro.parallel.work_stealing import WorkStealingBackend
+from repro.parallel.shm import (
+    SharedArrayHandle,
+    SharedMemoryArena,
+    SharedMemoryProcessBackend,
+    attach_array,
+    resolve_array,
+)
 from repro.parallel.chunking import chunk_slices, n_chunks, scatter_chunk_results
 
 __all__ = [
@@ -45,7 +58,13 @@ __all__ = [
     "ProcessBackend",
     "SimulatedClusterBackend",
     "WorkStealingBackend",
+    "SharedArrayHandle",
+    "SharedMemoryArena",
+    "SharedMemoryProcessBackend",
+    "attach_array",
+    "resolve_array",
     "get_backend",
+    "get_backend_class",
     "register_backend",
     "chunk_slices",
     "n_chunks",

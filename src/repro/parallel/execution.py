@@ -14,6 +14,7 @@ compared on identical machinery (Table 4).
 from __future__ import annotations
 
 import time
+import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -27,6 +28,7 @@ __all__ = [
     "ProcessBackend",
     "SimulatedClusterBackend",
     "get_backend",
+    "get_backend_class",
     "register_backend",
 ]
 
@@ -265,22 +267,47 @@ _BACKENDS = {
 }
 
 
-def register_backend(name: str, cls) -> None:
+def register_backend(name: str, cls, *, overwrite: bool = False) -> None:
     """Add a backend class to the :func:`get_backend` registry.
 
-    Used by sibling modules (e.g. work stealing) so the registry stays
-    the single lookup point without circular imports.
+    Used by sibling modules (work stealing, shared memory) so the
+    registry stays the single lookup point without circular imports.
+    Re-registering the same class under its existing name is a no-op;
+    replacing a registered name with a *different* class requires
+    ``overwrite=True``, so a built-in cannot be shadowed silently.
     """
+    existing = _BACKENDS.get(name)
+    if existing is not None and existing is not cls and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered to "
+            f"{existing.__name__}; pass overwrite=True to replace it"
+        )
     _BACKENDS[name] = cls
+
+
+def get_backend_class(name: str):
+    """The registered class for ``name`` (without instantiating it)."""
+    if name not in _BACKENDS:
+        raise ValueError(f"Unknown backend {name!r}; choose from {sorted(_BACKENDS)}")
+    return _BACKENDS[name]
 
 
 def get_backend(name: str, n_workers: int = 1):
     """Instantiate a backend by name.
 
-    ``sequential`` ignores ``n_workers`` (always 1).
+    ``sequential`` is always single-worker; asking for it with
+    ``n_workers > 1`` warns instead of silently dropping the request.
     """
-    if name not in _BACKENDS:
-        raise ValueError(f"Unknown backend {name!r}; choose from {sorted(_BACKENDS)}")
+    cls = get_backend_class(name)
     if name == "sequential":
+        if n_workers != 1:
+            warnings.warn(
+                f"backend 'sequential' always runs one worker; "
+                f"n_workers={n_workers} is ignored (pick 'threads', "
+                f"'processes', 'shm_processes' or 'work_stealing' for "
+                f"real parallelism)",
+                UserWarning,
+                stacklevel=2,
+            )
         return SequentialBackend()
-    return _BACKENDS[name](n_workers=n_workers)
+    return cls(n_workers=n_workers)

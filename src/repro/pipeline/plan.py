@@ -66,6 +66,13 @@ class ExecutionPlan:
         scores, ...) accumulate here.
     meta : dict
         Static facts known at build time (backend, n_jobs, task grain).
+    shm_keys : tuple of str
+        Context keys (each an ndarray or a list of ndarrays) the runner
+        materialises into a shared-memory arena right before
+        ``shm_stage`` runs; the handles land at ``shared_<key>`` on the
+        context. Empty (the default) means no shared data plane.
+    shm_stage : str
+        Stage name the materialisation precedes (default ``'execute'``).
     """
 
     kind: str
@@ -73,6 +80,8 @@ class ExecutionPlan:
     context: PlanContext
     meta: dict = field(default_factory=dict)
     reports: list[StageReport] = field(default_factory=list)
+    shm_keys: tuple[str, ...] = ()
+    shm_stage: str = "execute"
 
     def __post_init__(self):
         names = [s.name for s in self.stages]
@@ -119,14 +128,34 @@ class ExecutionPlan:
 
         Keeps scheduling telemetry (costs, assignment) and every stage
         report, so the plan remains fully inspectable — but it can no
-        longer be resumed or replayed. The SUOD façade calls this when a
-        fit/predict pass completes, so a long-lived estimator does not
-        pin its training set (or the last scored batch) in memory; run
-        plans through :class:`PlanRunner` yourself to keep the data.
+        longer be resumed or replayed. Also disposes the shared-memory
+        arena (closing and unlinking its segments) if the runner
+        materialised one. The SUOD façade calls this when a fit/predict
+        pass completes, so a long-lived estimator does not pin its
+        training set (or the last scored batch) in memory; run plans
+        through :class:`PlanRunner` yourself to keep the data.
         """
+        self.dispose_arena()
         for key in self._DATA_KEYS:
             self.context.__dict__.pop(key, None)
         self._released = True
+        return self
+
+    def dispose_arena(self) -> "ExecutionPlan":
+        """Tear down the shared-memory data plane, if one was built.
+
+        Closes + unlinks every arena segment and drops the
+        ``shared_<key>`` handle lists from the context. Idempotent; a
+        no-op for plans that never materialised shared data. Called by
+        the runner on plan completion and on any stage failure, and by
+        :meth:`release_data`, so segments cannot outlive the plan run.
+        """
+        arena = self.context.get("arena")
+        if arena is not None:
+            arena.dispose()
+        self.context.__dict__.pop("arena", None)
+        for key in self.shm_keys:
+            self.context.__dict__.pop(f"shared_{key}", None)
         return self
 
     # -- telemetry roll-up ---------------------------------------------

@@ -78,3 +78,55 @@ class TestPlanCommand:
     def test_plan_listed(self, capsys):
         assert main(["list"]) == 0
         assert "plan" in capsys.readouterr().out
+
+
+class TestScalingCommand:
+    _fast = [
+        "--workers",
+        "1,2",
+        "--n-train",
+        "200",
+        "--n-test",
+        "600",
+        "--models",
+        "3",
+        "--repeats",
+        "1",
+        "--predict-batches",
+        "2",
+    ]
+
+    def test_table_output_and_identical_scores(self, capsys):
+        assert main(["scaling", *self._fast]) == 0
+        out = capsys.readouterr().out
+        for backend in (
+            "sequential",
+            "threads",
+            "work_stealing",
+            "processes",
+            "shm_processes",
+        ):
+            assert backend in out
+        assert "scores identical across backends: True" in out
+
+    def test_json_output_schema(self, capsys):
+        import json
+
+        assert main(["scaling", "--json", "-", *self._fast]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["scores_identical"] is True
+        assert payload["meta"]["predict_batches"] == 2
+        assert {r["backend"] for r in payload["rows"]} == {
+            "sequential",
+            "threads",
+            "work_stealing",
+            "processes",
+            "shm_processes",
+        }
+        for row in payload["rows"]:
+            assert row["identical"] is True
+            assert row["total_s"] > 0
+
+    def test_scaling_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "scaling" in capsys.readouterr().out

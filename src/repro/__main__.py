@@ -9,6 +9,7 @@ Usage::
     python -m repro all --scale 0.05
     python -m repro plan [--phase fit|predict|both] [--format table|json]
     python -m repro scaling [--quick] [--json out.json]
+    python -m repro schedulers [--quick] [--json out.json]
 
 ``plan`` is not an experiment: it compiles a SUOD fit/predict pass into
 its :class:`~repro.pipeline.ExecutionPlan` and prints the stages, the
@@ -20,6 +21,13 @@ work stealing vs pickling processes vs shared-memory processes, across
 worker counts) and can emit its rows as machine-readable JSON — the
 format committed as ``BENCH_pr3.json`` and uploaded by the CI
 ``bench-smoke`` job, so the perf trajectory accumulates over PRs.
+
+``schedulers`` lists the registered scheduling policies and ablates
+every one of them: single-batch makespans on noisy forecasts (A3) plus
+the multi-batch static-vs-adaptive trajectory on the virtual-clock
+work-stealing backend — the behavioural check that the ``adaptive``
+policy's telemetry feedback actually closes the forecast gap. Its JSON
+output is committed as ``BENCH_pr4.json`` and uploaded by CI.
 
 Experiments honour the same REPRO_* environment variables as the
 benchmark suite; CLI flags override them.
@@ -63,6 +71,9 @@ EXPERIMENTS = {
     "stages": (run_plan_overhead, "Plan stage telemetry — per-stage wall times"),
     "jl": (run_jl_distortion, "A1 — JL distortion ablation"),
     "cost": (run_cost_predictor_validation, "A2 — cost predictor validation"),
+    # 'schedulers' is dispatched as a richer subcommand (registry listing
+    # + multi-batch trajectory, --quick/--json); this entry keeps the A3
+    # single-batch ablation inside 'python -m repro all'.
     "schedulers": (run_scheduler_ablation, "A3 — scheduler ablation"),
     "approximators": (run_approximator_ablation, "A4 — approximator ablation"),
 }
@@ -75,6 +86,17 @@ _BACKENDS = (
     "simulated",
     "work_stealing",
 )
+
+
+def _emit_json(payload: dict, json_path: str) -> None:
+    """Write a JSON payload to a file or stdout (``'-'``)."""
+    if json_path == "-":
+        print(json.dumps(payload, indent=2))
+        return
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {json_path}")
 
 
 def _task_labels(plan, estimators) -> list[str]:
@@ -276,7 +298,7 @@ def run_scaling_command(argv=None) -> int:
 
     payload = {"meta": meta, "rows": rows}
     if args.json_path == "-":
-        print(json.dumps(payload, indent=2))
+        _emit_json(payload, "-")
     else:
         print(meta["config"])
         print(
@@ -303,11 +325,129 @@ def run_scaling_command(argv=None) -> int:
         print(f"scores identical across backends: {meta['scores_identical']}")
         print(f"[scaling done in {elapsed:.1f}s]")
     if args.json_path and args.json_path != "-":
-        with open(args.json_path, "w") as fh:
-            json.dump(payload, fh, indent=2)
-            fh.write("\n")
-        print(f"wrote {args.json_path}")
+        _emit_json(payload, args.json_path)
     return 0 if meta["scores_identical"] else 1
+
+
+def run_schedulers_command(argv=None) -> int:
+    """``python -m repro schedulers``: list + ablate registered policies."""
+    from repro.bench.ablations import run_scheduler_trajectory
+    from repro.scheduling import get_scheduler_class, list_schedulers
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro schedulers",
+        description=(
+            "List the registered scheduling policies and ablate all of "
+            "them: single-batch makespans under noisy forecasts (A3) and "
+            "the multi-batch static-vs-adaptive trajectory on the "
+            "virtual-clock work-stealing backend. Exits non-zero if the "
+            "adaptive policy fails to improve on its first batch."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: smaller pool for the single-batch ablation",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="write policies + rows as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="only list registered policies"
+    )
+    parser.add_argument("--models", type=int, default=None, help="pool size m")
+    parser.add_argument("--workers", type=int, default=None, help="worker count t")
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=5,
+        help="consecutive batches to replay (>= 3: the gate reads batch 3)",
+    )
+    args = parser.parse_args(argv)
+    if args.batches < 3:
+        parser.error("--batches must be >= 3 (the improvement gate reads batch 3)")
+
+    policies = [
+        {
+            "name": name,
+            "class": get_scheduler_class(name).__name__,
+            "uses_costs": bool(get_scheduler_class(name).uses_costs),
+            "adaptive": bool(get_scheduler_class(name).adaptive),
+        }
+        for name in list_schedulers()
+    ]
+    if args.list:
+        if args.json_path:
+            _emit_json({"policies": policies}, args.json_path)
+        else:
+            print(format_table(policies, title="Registered scheduling policies"))
+        return 0
+
+    cfg = get_config()
+    t0 = time.perf_counter()
+    abl_kwargs = {"m": 60, "t": 4} if args.quick else {}
+    traj_kwargs = {"batches": args.batches}
+    if args.models is not None:
+        abl_kwargs["m"] = traj_kwargs["m"] = args.models
+    if args.workers is not None:
+        abl_kwargs["t"] = traj_kwargs["t"] = args.workers
+    abl_rows, abl_meta = run_scheduler_ablation(cfg, **abl_kwargs)
+    traj_rows, traj_meta = run_scheduler_trajectory(cfg, **traj_kwargs)
+    elapsed = time.perf_counter() - t0
+
+    improved = (
+        traj_meta["adaptive_batch3"] is not None
+        and traj_meta["adaptive_batch3"] < traj_meta["adaptive_batch1"]
+    )
+    payload = {
+        "meta": {
+            "ablation": abl_meta,
+            "trajectory": traj_meta,
+            "adaptive_improved_by_batch3": improved,
+        },
+        "policies": policies,
+        "ablation": abl_rows,
+        "trajectory": traj_rows,
+    }
+    if args.json_path == "-":
+        _emit_json(payload, "-")
+    else:
+        print(format_table(policies, title="Registered scheduling policies"))
+        print(
+            format_table(
+                abl_rows,
+                columns=["distribution", "policy", "makespan", "vs_lower_bound"],
+                title=(
+                    f"\nA3 — single-batch makespans "
+                    f"(m={abl_meta['m']}, t={abl_meta['t']}; noisy forecasts)"
+                ),
+            )
+        )
+        print(
+            format_table(
+                traj_rows,
+                columns=["policy", "batch", "makespan", "vs_lower_bound", "steals"],
+                title=(
+                    f"\nStatic vs adaptive over {traj_meta['batches']} batches "
+                    f"(m={traj_meta['m']}, t={traj_meta['t']}, "
+                    f"virtual-clock work stealing)"
+                ),
+            )
+        )
+        print(
+            f"\nadaptive makespan: batch 1 = {traj_meta['adaptive_batch1']:.2f}, "
+            f"batch 3 = {traj_meta['adaptive_batch3']:.2f}, "
+            f"lower bound = {traj_meta['lower_bound']:.2f} "
+            f"({'improved' if improved else 'NO IMPROVEMENT'})"
+        )
+        print(f"[schedulers done in {elapsed:.1f}s]")
+    if args.json_path and args.json_path != "-":
+        _emit_json(payload, args.json_path)
+    return 0 if improved else 1
 
 
 def _print_experiment(name: str, cfg) -> None:
@@ -331,6 +471,8 @@ def main(argv=None) -> int:
         return run_plan_command(argv[1:])
     if argv and argv[0] == "scaling":
         return run_scaling_command(argv[1:])
+    if argv and argv[0] == "schedulers":
+        return run_schedulers_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -363,6 +505,10 @@ def main(argv=None) -> int:
         print(
             f"{'scaling':14s} Backend scaling benchmark "
             "(python -m repro scaling --help)"
+        )
+        print(
+            f"{'schedulers':14s} Scheduler registry listing + ablation "
+            "(python -m repro schedulers --help)"
         )
         return 0
 

@@ -14,8 +14,7 @@ import numpy as np
 
 from repro.bench.config import BenchConfig
 from repro.combination import ecdf_standardise, moa
-from repro.core.cost import AnalyticCostModel
-from repro.core.scheduling import bps_schedule, generic_schedule
+from repro.scheduling import AnalyticCostModel, bps_schedule, generic_schedule
 from repro.core.suod import SUOD
 from repro.data import (
     load_benchmark,

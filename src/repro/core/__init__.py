@@ -1,24 +1,21 @@
 """The paper's primary contribution: the SUOD acceleration system.
 
-- :mod:`repro.core.cost` — model cost forecasting (meta-features, model
-  embeddings, analytic complexity model, trainable random-forest cost
-  predictor — §3.5);
-- :mod:`repro.core.scheduling` — balanced parallel scheduling policies
-  (generic / shuffle / BPS rank-sum balancing, Eq. 2);
+- :mod:`repro.scheduling` — the scheduling subsystem (cost models,
+  policy functions, Scheduler registry — §3.5). Re-exported here, with
+  deprecation shims at the old ``repro.core.cost`` /
+  ``repro.core.scheduling`` paths;
 - :mod:`repro.core.approximation` — pseudo-supervised approximation
   (§3.4);
 - :mod:`repro.core.suod` — the :class:`SUOD` meta-estimator composing
   RP + PSA + BPS behind a scikit-learn style API (Codeblock 1).
 """
 
-from repro.core.cost import (
+from repro.scheduling import (
     AnalyticCostModel,
     CostPredictor,
     dataset_meta_features,
     model_embedding,
     train_cost_predictor,
-)
-from repro.core.scheduling import (
     generic_schedule,
     shuffle_schedule,
     bps_schedule,

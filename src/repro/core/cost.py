@@ -1,277 +1,37 @@
-"""Model cost forecasting for balanced scheduling (§3.5).
+"""Deprecated shim — cost forecasting moved to :mod:`repro.scheduling`.
 
-The paper trains a random-forest regressor mapping ``{dataset
-meta-features, model embedding} -> execution time`` and relies on the
-*rank* of the forecasts (hardware-transferable) rather than absolute
-seconds. This module provides:
-
-- :func:`dataset_meta_features` — descriptive features of (n, d, X);
-- :func:`model_embedding` — fixed-length encoding of a detector (family
-  one-hot + normalised hyperparameters);
-- :class:`AnalyticCostModel` — zero-shot fallback from textbook time
-  complexities (kNN/LOF ~ n^2 d, HBOS ~ n d, ...). Unknown families get
-  the maximum forecast, matching the paper's conservative rule;
-- :class:`CostPredictor` — the trainable forest regressor (fit on timing
-  data from :func:`train_cost_predictor`, which replaces the authors'
-  47-dataset offline corpus with a locally generated one).
+Kept so ``from repro.core.cost import AnalyticCostModel`` (the pre-PR-4
+import path) keeps working; importing this module emits a
+:class:`DeprecationWarning`. New code should import from
+:mod:`repro.scheduling` (or :mod:`repro.scheduling.cost`).
 """
 
-from __future__ import annotations
+import warnings
 
-import time
-from collections.abc import Sequence
-
-import numpy as np
-
-from repro.detectors.base import BaseDetector
-from repro.detectors.registry import FAMILIES, family_of
-from repro.supervised import RandomForestRegressor
-from repro.utils.random import check_random_state
-from repro.utils.validation import check_array, check_is_fitted
+from repro.scheduling.cost import (
+    AnalyticCostModel,
+    CostModel,
+    CostPredictor,
+    TelemetryRefinedCostModel,
+    dataset_meta_features,
+    model_embedding,
+    train_cost_predictor,
+)
 
 __all__ = [
     "dataset_meta_features",
     "model_embedding",
+    "CostModel",
     "AnalyticCostModel",
     "CostPredictor",
+    "TelemetryRefinedCostModel",
     "train_cost_predictor",
 ]
 
-_FAMILY_ORDER = sorted(FAMILIES) + ["unknown"]
-N_META_FEATURES = 8
-
-
-def dataset_meta_features(X) -> np.ndarray:
-    """Descriptive features of a dataset used by the cost predictor.
-
-    Scale features (n, d, nd and logs) dominate runtime; cheap moment
-    statistics capture shape effects (e.g. k-means iterations on clumpy
-    data). Returns a fixed-length float vector.
-    """
-    X = check_array(X, name="X")
-    n, d = X.shape
-    stds = X.std(axis=0)
-    sd = stds + 1e-12
-    mu = X.mean(axis=0)
-    skew = np.abs(((X - mu) ** 3).mean(axis=0) / sd**3).mean()
-    kurt = (((X - mu) ** 4).mean(axis=0) / sd**4).mean()
-    return np.array(
-        [
-            float(n),
-            float(d),
-            float(n) * float(d),
-            np.log1p(n),
-            np.log1p(d),
-            float(stds.mean()),
-            float(skew),
-            float(kurt),
-        ]
-    )
-
-
-def _hyper_features(model: BaseDetector) -> np.ndarray:
-    """Normalised hyperparameters affecting cost (0 when absent)."""
-    g = model.get_params()
-    return np.array(
-        [
-            float(g.get("n_neighbors", 0)),
-            float(g.get("n_estimators", 0)),
-            float(g.get("n_clusters", 0)),
-            float(g.get("n_bins", 0)),
-            float(g.get("nu", 0.0)),
-            float(g.get("max_features", 0.0))
-            if isinstance(g.get("max_features", 0.0), (int, float))
-            else 0.0,
-        ]
-    )
-
-
-def model_embedding(model: BaseDetector) -> np.ndarray:
-    """Family one-hot + cost-relevant hyperparameters."""
-    onehot = np.zeros(len(_FAMILY_ORDER))
-    onehot[_FAMILY_ORDER.index(family_of(model))] = 1.0
-    return np.concatenate([onehot, _hyper_features(model)])
-
-
-class AnalyticCostModel:
-    """Zero-shot cost forecasts from textbook complexity formulas.
-
-    Output units are arbitrary "cost units" — only the *relative order*
-    matters for BPS (the paper: "the rank is more useful ... with the
-    transferability to other hardware"). Unknown families receive the
-    maximum forecast across the pool (the paper's rule for unseen models).
-    """
-
-    def forecast(self, models: Sequence[BaseDetector], X) -> np.ndarray:
-        X = check_array(X, name="X")
-        n, d = X.shape
-        costs = np.empty(len(models))
-        unknown: list[int] = []
-        for i, m in enumerate(models):
-            fam = family_of(m)
-            if fam == "unknown":
-                unknown.append(i)
-                costs[i] = 0.0
-            else:
-                costs[i] = self._family_cost(fam, m, n, d)
-        if unknown:
-            mx = costs.max() if len(unknown) < len(models) else 1.0
-            for i in unknown:
-                costs[i] = mx * 1.01  # strictly above everything known
-        return costs
-
-    @staticmethod
-    def _family_cost(fam: str, m: BaseDetector, n: int, d: int) -> float:
-        g = m.get_params()
-        k = float(g.get("n_neighbors", 10))
-        if fam in ("KNN", "AvgKNN", "MedKNN"):
-            return n * n * d + n * k
-        if fam == "LOF":
-            return n * n * d + 3 * n * k
-        if fam == "LoOP":
-            return n * n * d + 4 * n * k
-        if fam == "ABOD":
-            return n * n * d + n * k * k * d
-        if fam == "CBLOF":
-            c = float(g.get("n_clusters", 8))
-            return 3 * 100 * n * c * d  # n_init * max_iter bounded Lloyd
-        if fam == "OCSVM":
-            n_eff = min(n, float(g.get("max_train_samples", 4000)))
-            return n_eff * n_eff * d + 2e4 * n_eff
-        if fam == "FeatureBagging":
-            t = float(g.get("n_estimators", 10))
-            return t * (n * n * (d / 2.0) + 3 * n * 20)
-        if fam == "HBOS":
-            b = float(g.get("n_bins", 10))
-            return n * d + b * d
-        if fam == "IsolationForest":
-            t = float(g.get("n_estimators", 100))
-            sub = min(256.0, n)
-            log_sub = np.log2(max(sub, 2.0))
-            return t * sub * log_sub * 40 + t * n * log_sub
-        if fam == "PCAD":
-            return n * d * d + d**3
-        if fam == "LODA":
-            p = float(g.get("n_projections", 100))
-            return p * n + p * float(g.get("n_bins", 10))
-        if fam == "COPOD":
-            return n * np.log2(max(n, 2.0)) * d
-        raise KeyError(fam)
-
-
-class CostPredictor:
-    """Trainable execution-time forecaster (random forest on log-time).
-
-    Mirrors the paper's predictor: features are dataset meta-features
-    concatenated with a model embedding; the target is measured execution
-    time (the paper uses the sum of 10 trials; the trainer below uses a
-    configurable trial count). Forecasts for unknown families are clamped
-    to the pool maximum.
-
-    Use :func:`train_cost_predictor` to build one from local timings, or
-    call :meth:`fit` with your own ``(features, seconds)`` design matrix.
-    """
-
-    def __init__(self, *, n_estimators: int = 100, random_state=None):
-        self.n_estimators = n_estimators
-        self.random_state = random_state
-
-    def fit(self, features: np.ndarray, seconds: np.ndarray) -> "CostPredictor":
-        features = check_array(features, name="features")
-        seconds = np.asarray(seconds, dtype=np.float64)
-        if seconds.ndim != 1 or seconds.shape[0] != features.shape[0]:
-            raise ValueError("seconds must be 1-D and aligned with features")
-        if (seconds < 0).any():
-            raise ValueError("seconds must be non-negative")
-        self._rf = RandomForestRegressor(
-            n_estimators=self.n_estimators,
-            max_depth=None,
-            random_state=self.random_state,
-        )
-        self._rf.fit(features, np.log1p(seconds))
-        self.n_features_in_ = features.shape[1]
-        return self
-
-    @staticmethod
-    def build_features(models: Sequence[BaseDetector], X) -> np.ndarray:
-        meta = dataset_meta_features(X)
-        return np.stack([np.concatenate([meta, model_embedding(m)]) for m in models])
-
-    def forecast(self, models: Sequence[BaseDetector], X) -> np.ndarray:
-        """Forecast per-model execution time (seconds) on dataset X."""
-        check_is_fitted(self, "_rf")
-        feats = self.build_features(models, X)
-        pred = np.expm1(self._rf.predict(feats))
-        unknown = np.array([family_of(m) == "unknown" for m in models])
-        if unknown.any():
-            mx = pred[~unknown].max() if (~unknown).any() else 1.0
-            pred[unknown] = mx * 1.01
-        return np.maximum(pred, 0.0)
-
-
-def train_cost_predictor(
-    *,
-    families: Sequence[str] | None = None,
-    n_grid: Sequence[int] = (200, 500, 1000),
-    d_grid: Sequence[int] = (5, 20, 50),
-    models_per_family: int = 2,
-    n_trials: int = 1,
-    random_state=None,
-) -> tuple[CostPredictor, dict]:
-    """Fit a :class:`CostPredictor` on locally measured timings.
-
-    Replaces the authors' offline corpus (11 families x 47 datasets x 10
-    trials) with a locally generated grid: synthetic Gaussian datasets of
-    sizes ``n_grid x d_grid``, ``models_per_family`` random configurations
-    per family (drawn from the Table B.1 grid where available), each fitted
-    ``n_trials`` times.
-
-    Returns ``(predictor, report)`` where ``report`` holds the raw timing
-    table for validation (e.g. the Spearman check of experiment A2).
-    """
-    from repro.detectors.registry import TABLE_B1_GRID, sample_model_pool
-
-    rng = check_random_state(random_state)
-    fams = list(families) if families is not None else sorted(TABLE_B1_GRID)
-
-    # Warm up interpreter/BLAS caches so the first timed fit is not
-    # systematically inflated.
-    from repro.detectors import KNN as _WarmKNN
-
-    _WarmKNN(n_neighbors=3).fit(rng.standard_normal((60, 5)))
-
-    rows, times, records = [], [], []
-    for n in n_grid:
-        for d in d_grid:
-            X = rng.standard_normal((n, d))
-            meta = dataset_meta_features(X)
-            pool = []
-            for fam in fams:
-                pool.extend(
-                    sample_model_pool(
-                        models_per_family,
-                        families=[fam],
-                        max_n_neighbors=max(2, min(100, n // 4)),
-                        random_state=rng,
-                    )
-                )
-            for model in pool:
-                elapsed = 0.0
-                for _ in range(n_trials):
-                    t0 = time.perf_counter()
-                    model.fit(X)
-                    elapsed += time.perf_counter() - t0
-                rows.append(np.concatenate([meta, model_embedding(model)]))
-                times.append(elapsed)
-                records.append(
-                    {"family": family_of(model), "n": n, "d": d, "seconds": elapsed}
-                )
-
-    predictor = CostPredictor(random_state=rng).fit(np.stack(rows), np.array(times))
-    report = {
-        "n_observations": len(times),
-        "records": records,
-        "features": np.stack(rows),
-        "seconds": np.array(times),
-    }
-    return predictor, report
+warnings.warn(
+    "repro.core.cost has moved to repro.scheduling "
+    "(cost models live in repro.scheduling.cost); "
+    "this shim will be removed in a future release",
+    DeprecationWarning,
+    stacklevel=2,
+)

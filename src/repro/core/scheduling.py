@@ -1,31 +1,21 @@
-"""Balanced Parallel Scheduling policies (§3.5, Eq. 2).
+"""Deprecated shim — the policies moved to :mod:`repro.scheduling`.
 
-A schedule is an ``(m,)`` int array mapping model index -> worker id.
-Policies:
-
-- :func:`generic_schedule` — the baseline the paper criticises: split the
-  model list into t contiguous equal-count groups *by order* (what a
-  naive joblib-style dispatcher does);
-- :func:`shuffle_schedule` — the naive randomisation fix ("no guarantee
-  this heuristic could work");
-- :func:`bps_schedule` — the paper's policy: forecast costs, convert to
-  (optionally discounted) ranks, and balance rank sums across workers.
-
-Partitioning engines: greedy LPT (longest processing time first) and
-Karmarkar-Karp multi-way differencing — both classic makespan heuristics;
-LPT is the default and what the near-equal-rank-sum objective of Eq. 2
-needs in practice.
+Kept so ``from repro.core.scheduling import bps_schedule`` (the pre-PR-4
+import path) keeps working; importing this module emits a
+:class:`DeprecationWarning`. New code should import from
+:mod:`repro.scheduling` (or :mod:`repro.scheduling.policies`).
 """
 
-from __future__ import annotations
+import warnings
 
-import heapq
-import itertools
-
-import numpy as np
-
-from repro.metrics.ranking import rank_scores
-from repro.utils.random import check_random_state
+from repro.scheduling.policies import (
+    bps_schedule,
+    discounted_ranks,
+    generic_schedule,
+    karmarkar_karp_partition,
+    lpt_partition,
+    shuffle_schedule,
+)
 
 __all__ = [
     "generic_schedule",
@@ -36,181 +26,10 @@ __all__ = [
     "discounted_ranks",
 ]
 
-
-def _check_mt(m: int, n_workers: int) -> None:
-    if m < 0:
-        raise ValueError("m must be >= 0")
-    if n_workers < 1:
-        raise ValueError("n_workers must be >= 1")
-
-
-def _degenerate_assignment(weights: np.ndarray, n_workers: int) -> np.ndarray | None:
-    """Shared edge-case policy for every partitioning engine.
-
-    Returns an assignment for inputs where cost-aware partitioning has
-    nothing to work with, or ``None`` for the general case:
-
-    - empty pools -> empty assignment;
-    - single worker -> all zeros;
-    - constant weights (including the all-zero forecast of a cold cost
-      model) -> balanced round-robin, so no engine may idle a worker or
-      pile a whole uniform pool onto worker 0.
-
-    Round-robin also pins the ``m < n_workers`` contract: with constant
-    weights each of the m tasks lands on its own worker, matching what
-    LPT/KK already guarantee for distinct weights.
-    """
-    m = weights.size
-    if m == 0:
-        return np.zeros(0, dtype=np.int64)
-    if n_workers == 1:
-        return np.zeros(m, dtype=np.int64)
-    if np.all(weights == weights[0]):
-        return np.arange(m, dtype=np.int64) % n_workers
-    return None
-
-
-def generic_schedule(m: int, n_workers: int) -> np.ndarray:
-    """Contiguous equal-count split by order (the paper's baseline).
-
-    The first ``ceil(m/t)`` models go to worker 0, the next block to
-    worker 1, etc. — so a pool ordered by algorithm family sends all kNNs
-    to one worker (the imbalance pathology of §3.5).
-    """
-    _check_mt(m, n_workers)
-    # np.array_split gives the ceil/floor block sizes in order.
-    assignment = np.empty(m, dtype=np.int64)
-    for w, chunk in enumerate(np.array_split(np.arange(m), n_workers)):
-        assignment[chunk] = w
-    return assignment
-
-
-def shuffle_schedule(m: int, n_workers: int, *, random_state=None) -> np.ndarray:
-    """Random permutation followed by the generic contiguous split."""
-    _check_mt(m, n_workers)
-    rng = check_random_state(random_state)
-    perm = rng.permutation(m)
-    assignment = np.empty(m, dtype=np.int64)
-    assignment[perm] = generic_schedule(m, n_workers)
-    return assignment
-
-
-def discounted_ranks(costs, *, alpha: float = 1.0) -> np.ndarray:
-    """Ranks of forecast costs, rescaled to ``1 + alpha * f / m``.
-
-    Plain rank sums over-weight high-rank models (rank f counts f times
-    rank 1 even if true costs differ far less); the discounted rescaling
-    bounds the ratio at ``(1 + alpha)``, with ``alpha`` controlling how
-    much emphasis costly models keep (§3.5).
-    """
-    costs = np.asarray(costs, dtype=np.float64)
-    if costs.ndim != 1:
-        raise ValueError("costs must be 1-D")
-    if alpha < 0:
-        raise ValueError("alpha must be >= 0")
-    m = costs.size
-    if m == 0:
-        return np.zeros(0)
-    f = rank_scores(costs)  # 1..m midranks
-    return 1.0 + alpha * f / m
-
-
-def lpt_partition(weights, n_workers: int) -> np.ndarray:
-    """Greedy Longest-Processing-Time partition.
-
-    Sort descending, always assign to the currently lightest worker.
-    4/3-approximation of the optimal makespan; O(m log m).
-    """
-    weights = np.asarray(weights, dtype=np.float64)
-    _check_mt(weights.size, n_workers)
-    if (weights < 0).any():
-        raise ValueError("weights must be non-negative")
-    degenerate = _degenerate_assignment(weights, n_workers)
-    if degenerate is not None:
-        return degenerate
-    assignment = np.zeros(weights.size, dtype=np.int64)
-    heap = [(0.0, w) for w in range(n_workers)]
-    heapq.heapify(heap)
-    for i in np.argsort(-weights, kind="mergesort"):
-        load, w = heapq.heappop(heap)
-        assignment[i] = w
-        heapq.heappush(heap, (load + weights[i], w))
-    return assignment
-
-
-def karmarkar_karp_partition(weights, n_workers: int) -> np.ndarray:
-    """Multi-way Karmarkar-Karp (largest differencing method).
-
-    Repeatedly merges the two partial solutions with the largest spread,
-    stacking their load vectors in opposite order. Usually tighter than
-    LPT on heavy-tailed weights; O(m log m) with t-sized vectors.
-    """
-    weights = np.asarray(weights, dtype=np.float64)
-    m = weights.size
-    _check_mt(m, n_workers)
-    if (weights < 0).any():
-        raise ValueError("weights must be non-negative")
-    degenerate = _degenerate_assignment(weights, n_workers)
-    if degenerate is not None:
-        return degenerate
-
-    counter = itertools.count()
-    # Heap entries: (-spread, tiebreak, loads sorted desc, buckets) where
-    # buckets[j] is the list of item indices carried by slot j.
-    heap = []
-    for i in range(m):
-        loads = [weights[i]] + [0.0] * (n_workers - 1)
-        buckets = [[i]] + [[] for _ in range(n_workers - 1)]
-        heapq.heappush(heap, (-(weights[i]), next(counter), loads, buckets))
-    while len(heap) > 1:
-        s1, _, l1, b1 = heapq.heappop(heap)
-        s2, _, l2, b2 = heapq.heappop(heap)
-        # Merge: largest of one with smallest of the other.
-        loads = [a + b for a, b in zip(l1, reversed(l2))]
-        buckets = [a + b for a, b in zip(b1, reversed(b2))]
-        order = np.argsort(-np.asarray(loads), kind="mergesort")
-        loads = [loads[o] for o in order]
-        buckets = [buckets[o] for o in order]
-        spread = loads[0] - loads[-1]
-        heapq.heappush(heap, (-spread, next(counter), loads, buckets))
-    _, _, _, buckets = heap[0]
-    assignment = np.empty(m, dtype=np.int64)
-    for w, bucket in enumerate(buckets):
-        for i in bucket:
-            assignment[i] = w
-    return assignment
-
-
-def bps_schedule(
-    costs,
-    n_workers: int,
-    *,
-    alpha: float | None = 1.0,
-    method: str = "lpt",
-) -> np.ndarray:
-    """Balanced Parallel Scheduling from forecast costs (the paper's BPS).
-
-    Parameters
-    ----------
-    costs : (m,) array
-        Forecast execution times (e.g. from a
-        :class:`~repro.core.cost.CostPredictor` or the analytic model).
-        Only their ranks matter, giving hardware transferability.
-    n_workers : int
-        Worker count t.
-    alpha : float or None, default 1.0
-        Discounted-rank strength. ``None`` balances *raw* ranks
-        (the undiscounted Eq. 2 objective).
-    method : {'lpt', 'kk'}
-        Partitioning engine.
-    """
-    weights = (
-        rank_scores(np.asarray(costs, dtype=np.float64))
-        if alpha is None
-        else discounted_ranks(costs, alpha=alpha)
-    )
-    if method == "lpt":
-        return lpt_partition(weights, n_workers)
-    if method == "kk":
-        return karmarkar_karp_partition(weights, n_workers)
-    raise ValueError(f"method must be 'lpt' or 'kk', got {method!r}")
+warnings.warn(
+    "repro.core.scheduling has moved to repro.scheduling "
+    "(policies live in repro.scheduling.policies); "
+    "this shim will be removed in a future release",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -8,7 +8,10 @@ pool of base detectors:
   (iForest, HBOS, ...) are exempt per §3.3's caution, as are datasets too
   small/narrow for the JL bound to be meaningful.
 - **BPS** (``bps_flag``): model costs are forecast and models assigned to
-  workers by balanced rank sums instead of contiguous equal counts.
+  workers by balanced rank sums instead of contiguous equal counts. The
+  policy behind the flag is pluggable (``scheduler=``): any registered
+  :class:`repro.scheduling.Scheduler`, including the ``adaptive`` one
+  that reschedules consecutive batches on *measured* task durations.
 - **PSA** (``approx_flag_global``): after fitting, costly detectors get a
   supervised stand-in for fast prediction on new samples.
 
@@ -41,8 +44,6 @@ import numpy as np
 
 from repro.combination import ecdf_standardise, moa, zscore_standardise
 from repro.core.approximation import Approximator, fit_approximators
-from repro.core.cost import AnalyticCostModel
-from repro.core.scheduling import bps_schedule, generic_schedule
 from repro.detectors.base import BaseDetector
 from repro.detectors.registry import family_of, is_costly
 from repro.parallel import (
@@ -55,6 +56,7 @@ from repro.parallel import (
 )
 from repro.pipeline import ExecutionPlan, PlanContext, PlanRunner, Stage
 from repro.projection import JLProjector, NoProjection, jl_target_dim
+from repro.scheduling import AnalyticCostModel, Scheduler, get_scheduler_class
 from repro.utils.random import check_random_state, spawn_seeds
 from repro.utils.validation import check_array, check_is_fitted
 
@@ -119,9 +121,24 @@ class SUOD:
         library's RandomForestRegressor.
     bps_flag : bool, default True
         Master switch of balanced parallel scheduling (vs generic split).
-    cost_predictor : object with ``forecast(models, X)`` or None
-        Defaults to :class:`repro.core.cost.AnalyticCostModel`; pass a
-        trained :class:`repro.core.cost.CostPredictor` for learned costs.
+        Legacy toggle: with ``scheduler=None`` it selects between the
+        ``'bps-lpt'`` and ``'generic'`` policies, exactly as before.
+    scheduler : str, Scheduler or None, default None
+        Scheduling policy. A registry name (``'generic'``, ``'shuffle'``,
+        ``'bps-lpt'``, ``'bps-kk'``, ``'adaptive'`` — see
+        :func:`repro.scheduling.list_schedulers`; legacy spellings like
+        ``'bps'`` still resolve with a DeprecationWarning), a
+        :class:`repro.scheduling.Scheduler` instance (e.g. a pre-warmed
+        :class:`~repro.scheduling.AdaptiveScheduler`), or None to derive
+        the policy from ``bps_flag``. ``'adaptive'`` closes the feedback
+        loop: every executed batch's measured per-task durations refine
+        the cost model, so consecutive ``predict`` batches are
+        rescheduled on observed — not guessed — costs.
+    cost_predictor : object satisfying the CostModel protocol, or None
+        Defaults to :class:`repro.scheduling.AnalyticCostModel`; pass a
+        trained :class:`repro.scheduling.CostPredictor` for learned
+        costs, or a :class:`repro.scheduling.TelemetryRefinedCostModel`
+        for externally managed feedback.
     n_jobs : int, default 1
         Worker count t.
     backend : {'sequential', 'threads', 'processes', 'shm_processes', \
@@ -191,6 +208,7 @@ class SUOD:
         approx_flag_global: bool = True,
         approx_clf=None,
         bps_flag: bool = True,
+        scheduler=None,
         cost_predictor=None,
         n_jobs: int = 1,
         backend: str = "sequential",
@@ -217,6 +235,13 @@ class SUOD:
             raise ValueError("n_jobs must be >= 1")
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be None or >= 1")
+        if isinstance(scheduler, str):
+            get_scheduler_class(scheduler)  # fail fast on unknown names
+        elif scheduler is not None and not isinstance(scheduler, Scheduler):
+            raise TypeError(
+                "scheduler must be a registered policy name, a "
+                f"repro.scheduling.Scheduler instance or None, got {type(scheduler)}"
+            )
         self.base_estimators = list(base_estimators)
         self.contamination = contamination
         self.rp_flag_global = rp_flag_global
@@ -227,6 +252,7 @@ class SUOD:
         self.approx_flag_global = approx_flag_global
         self.approx_clf = approx_clf
         self.bps_flag = bps_flag
+        self.scheduler = scheduler
         self.cost_predictor = cost_predictor
         self.n_jobs = n_jobs
         self.backend = backend
@@ -299,13 +325,70 @@ class SUOD:
         """The single selection point for the active cost predictor."""
         return self.cost_predictor or AnalyticCostModel()
 
-    def _schedule_costs(self, n_tasks: int, costs: np.ndarray | None) -> np.ndarray:
-        """Assignment for ``n_tasks`` tasks from optional forecast costs."""
+    def _make_scheduler(self) -> Scheduler:
+        """The active Scheduler instance, cached across plans/batches.
+
+        Caching matters for the adaptive policy: its telemetry-refined
+        cost model accumulates observations across consecutive predict
+        batches, so the instance must survive plan boundaries. Instances
+        passed directly are used as-is (their state is the caller's);
+        names and the ``bps_flag`` default resolve through the registry
+        once and are invalidated when the parameters change.
+        """
+        spec = self.scheduler
+        if isinstance(spec, Scheduler):
+            return spec
+        if spec is None:
+            key = ("default", bool(self.bps_flag))
+            name = "bps-lpt" if self.bps_flag else "generic"
+        else:
+            key = ("named", spec)
+            name = spec
+        if getattr(self, "_scheduler_key_", None) == key:
+            return self._scheduler_instance_
+        cls = get_scheduler_class(name)
+        try:
+            instance = cls(random_state=self.random_state)
+        except TypeError:
+            # Deterministic policies take no seed.
+            instance = cls()
+        self._scheduler_instance_ = instance
+        self._scheduler_key_ = key
+        return instance
+
+    @staticmethod
+    def _task_identities(ctx: PlanContext) -> tuple[list, np.ndarray]:
+        """Stable per-task keys + work weights for the feedback loop.
+
+        Keys are ``(plan kind, model index)`` so fit and predict costs
+        never mix and chunked tasks of one model share an identity;
+        weights are row counts, so observed durations normalise to a
+        per-row rate that transfers across batch sizes.
+        """
+        kind = ctx.kind
+        if ctx.owners is not None:
+            keys = [(kind, i) for i, _sl in ctx.owners]
+            weights = np.array([float(sl.stop - sl.start) for _, sl in ctx.owners])
+        else:
+            n_rows = float(ctx.X.shape[0])
+            keys = [(kind, i) for i in range(ctx.n_tasks)]
+            weights = np.full(ctx.n_tasks, max(n_rows, 1.0))
+        return keys, weights
+
+    def _observe_execution(self, ctx: PlanContext, result: ExecutionResult) -> int:
+        """Pipe execute-stage telemetry into the scheduler's feedback loop."""
         if self.n_jobs == 1:
-            return np.zeros(n_tasks, dtype=np.int64)
-        if not self.bps_flag or costs is None:
-            return generic_schedule(n_tasks, self.n_jobs)
-        return bps_schedule(costs, self.n_jobs)
+            return 0
+        scheduler = self._make_scheduler()
+        if not scheduler.adaptive:
+            return 0
+        keys = ctx.get("task_keys")
+        weights = ctx.get("task_weights")
+        if keys is None or result.task_times.size != len(keys):
+            keys, weights = self._task_identities(ctx)
+            if result.task_times.size != len(keys):
+                return 0
+        return scheduler.observe(result.task_times, task_keys=keys, weights=weights)
 
     # ------------------------------------------------------------------
     # Plan compilation — the façade's whole job. Stages communicate via
@@ -320,6 +403,9 @@ class SUOD:
             "grain": grain,
             "n_tasks": n_tasks,
             "bps": self.bps_flag,
+            "scheduler": "single-worker"
+            if self.n_jobs == 1
+            else self._make_scheduler().name,
             "batch_size": self.batch_size,
             "shm": self._uses_shm,
         }
@@ -339,6 +425,7 @@ class SUOD:
             rng=check_random_state(self.random_state),
             owners=None,
             n_tasks=self.n_models,
+            kind="fit",
         )
         stages = [
             Stage(
@@ -410,6 +497,7 @@ class SUOD:
             owners=owners,
             slices=slices,
             n_tasks=n_tasks,
+            kind="predict",
         )
         stages = [
             Stage(
@@ -455,10 +543,14 @@ class SUOD:
         """Per-task cost forecasts (skipped exactly when scheduling
         cannot use them, so an untrained CostPredictor with n_jobs=1
         keeps working as before)."""
-        if self.n_jobs == 1 or not self.bps_flag:
+        if self.n_jobs == 1 or not self._make_scheduler().uses_costs:
             ctx.model_costs = None
             ctx.costs = None
-            reason = "n_jobs == 1" if self.n_jobs == 1 else "bps disabled"
+            reason = (
+                "n_jobs == 1"
+                if self.n_jobs == 1
+                else f"scheduler {self._make_scheduler().name!r} ignores costs"
+            )
             return {"forecast": "skipped", "reason": reason}
         predictor = self._cost_predictor()
         model_costs = np.asarray(
@@ -479,19 +571,29 @@ class SUOD:
         }
 
     def _stage_schedule(self, ctx: PlanContext) -> dict:
-        ctx.assignment = self._schedule_costs(ctx.n_tasks, ctx.costs)
         if self.n_jobs == 1:
-            policy = "single-worker"
-        elif self.bps_flag and ctx.costs is not None:
-            policy = "bps"
+            ctx.assignment = np.zeros(ctx.n_tasks, dtype=np.int64)
+            info = {"policy": "single-worker"}
         else:
-            policy = "generic"
+            scheduler = self._make_scheduler()
+            keys, weights = self._task_identities(ctx)
+            ctx.task_keys = keys
+            ctx.task_weights = weights
+            ctx.assignment = scheduler.assign(
+                ctx.n_tasks,
+                self.n_jobs,
+                ctx.costs,
+                task_keys=keys,
+                weights=weights,
+            )
+            info = {"policy": scheduler.name}
+            if scheduler.adaptive:
+                # How much measured telemetry backed this assignment.
+                info["n_observed"] = int(scheduler.n_observed)
         counts = np.bincount(ctx.assignment, minlength=self.n_jobs)
-        return {
-            "policy": policy,
-            "n_tasks": int(ctx.n_tasks),
-            "tasks_per_worker": counts.tolist(),
-        }
+        info["n_tasks"] = int(ctx.n_tasks)
+        info["tasks_per_worker"] = counts.tolist()
+        return info
 
     # -- fit stages ------------------------------------------------------
     def _fit_stage_project(self, ctx: PlanContext) -> dict:
@@ -556,12 +658,16 @@ class SUOD:
         backend = self._make_backend()
         result = backend.execute(tasks, ctx.assignment)
         result.raise_first_error()
+        observed = self._observe_execution(ctx, result)
         self.base_estimators_ = list(result.results)
         self.fit_assignment_ = ctx.assignment
         self.fit_result_ = result
         ctx.result = result
         self._log(f"fit wall time: {result.wall_time:.3f}s")
-        return {"backend": self._effective_backend, "execution": result}
+        info = {"backend": self._effective_backend, "execution": result}
+        if observed:
+            info["telemetry_observed"] = observed
+        return info
 
     def _fit_stage_approximate(self, ctx: PlanContext) -> dict:
         """PSA (Algorithm 1 lines 15-22)."""
@@ -643,6 +749,7 @@ class SUOD:
         backend = self._make_backend()
         result = backend.execute(tasks, ctx.assignment)
         result.raise_first_error()
+        observed = self._observe_execution(ctx, result)
         self.predict_result_ = result
         ctx.result = result
         n = ctx.X.shape[0]
@@ -657,7 +764,10 @@ class SUOD:
             )
         else:
             ctx.matrix = np.stack(result.results)
-        return {"backend": self._effective_backend, "execution": result}
+        info = {"backend": self._effective_backend, "execution": result}
+        if observed:
+            info["telemetry_observed"] = observed
+        return info
 
     def _predict_stage_combine(self, ctx: PlanContext) -> dict:
         std = self._standardise(ctx.matrix, ref=self.train_score_matrix_)
@@ -775,9 +885,11 @@ class SUOD:
         return state
 
     def __repr__(self) -> str:
+        sched = self.scheduler
+        sched_name = sched.name if isinstance(sched, Scheduler) else sched
         return (
             f"SUOD(m={self.n_models}, rp={self.rp_flag_global}, "
             f"approx={self.approx_flag_global}, bps={self.bps_flag}, "
-            f"n_jobs={self.n_jobs}, backend={self.backend!r}, "
-            f"batch_size={self.batch_size})"
+            f"scheduler={sched_name!r}, n_jobs={self.n_jobs}, "
+            f"backend={self.backend!r}, batch_size={self.batch_size})"
         )

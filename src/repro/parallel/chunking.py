@@ -14,7 +14,7 @@ the sample axis into row blocks turns the unit into (model × chunk):
   execution order, never the arithmetic.
 
 Helpers here are deliberately dumb data-plane code; policy (how chunks
-are scheduled) stays in :mod:`repro.core.scheduling` and callers.
+are scheduled) stays in :mod:`repro.scheduling` and callers.
 """
 
 from __future__ import annotations

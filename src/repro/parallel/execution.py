@@ -5,7 +5,7 @@ the process backend the callable itself must pickle too — module-level
 functions plus bound arguments work; lambdas do not).
 
 The division of labour with the scheduler is strict: schedulers
-(:mod:`repro.core.scheduling`) produce an ``assignment`` array mapping
+(:mod:`repro.scheduling`) produce an ``assignment`` array mapping
 each task to a worker id; backends execute that assignment and report
 per-worker loads and wall-clock, so Generic and BPS schedules can be
 compared on identical machinery (Table 4).
@@ -49,7 +49,12 @@ class ExecutionResult:
     worker_times : numpy.ndarray
         Busy time per worker (same clock as ``wall_time``).
     task_times : numpy.ndarray
-        Measured duration of each task.
+        Measured per-task wall-clock duration, in submission order.
+        Every backend records it (sequential, threads, processes,
+        shm_processes, work_stealing); virtual-clock modes (simulated,
+        work-stealing replay) report the deterministic known costs. This
+        is the signal the adaptive scheduling feedback loop
+        (:class:`repro.scheduling.TelemetryRefinedCostModel`) consumes.
     idle_times : numpy.ndarray
         Per-worker idle seconds: time a worker spent without a task
         while the run was still in flight. Static backends leave this

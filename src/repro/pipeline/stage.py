@@ -88,6 +88,22 @@ class StageReport:
             return 0.0
         return float(self.execution.idle_times.sum())
 
+    @property
+    def task_times(self) -> np.ndarray:
+        """Measured per-task durations of the backend run (empty if none).
+
+        These are the observations the adaptive scheduling feedback loop
+        consumes; surfacing them here keeps per-task telemetry reachable
+        from a plan's reports alongside the worker-level aggregates.
+        """
+        if self.execution is None:
+            return np.zeros(0)
+        return self.execution.task_times
+
+    @property
+    def total_task_time(self) -> float:
+        return float(self.task_times.sum()) if self.task_times.size else 0.0
+
     def to_dict(self) -> dict:
         out = {
             "stage": self.stage,
@@ -98,6 +114,7 @@ class StageReport:
             out["execution"] = {
                 "wall_time": float(self.execution.wall_time),
                 "worker_times": jsonify(self.execution.worker_times),
+                "task_times": jsonify(self.execution.task_times),
                 "idle_times": jsonify(self.execution.idle_times),
                 "steal_counts": jsonify(self.execution.steal_counts),
                 "n_tasks": len(self.execution.results),

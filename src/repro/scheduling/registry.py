@@ -1,0 +1,99 @@
+"""Named scheduler registry (mirrors the backend registry contract).
+
+One lookup point for scheduling policies, so ``SUOD(scheduler='...')``,
+the plan compiler, the ablation benchmarks and the ``repro schedulers``
+CLI all resolve names identically:
+
+- duplicate-name registration is rejected unless ``overwrite=True``
+  (re-registering the *same* class is a no-op);
+- unknown names raise with the sorted list of registered policies;
+- legacy spellings (``'bps'``, ``'bps_lpt'``, ``'bps_kk'``) keep
+  resolving with a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.scheduling.schedulers import (
+    AdaptiveScheduler,
+    BpsKkScheduler,
+    BpsScheduler,
+    GenericScheduler,
+    Scheduler,
+    ShuffleScheduler,
+)
+
+__all__ = [
+    "register_scheduler",
+    "get_scheduler",
+    "get_scheduler_class",
+    "list_schedulers",
+]
+
+_SCHEDULERS: dict[str, type] = {
+    "generic": GenericScheduler,
+    "shuffle": ShuffleScheduler,
+    "bps-lpt": BpsScheduler,
+    "bps-kk": BpsKkScheduler,
+    "adaptive": AdaptiveScheduler,
+}
+
+# Pre-registry spellings still in the wild (underscores, the bare 'bps'
+# of the paper's flag). Resolved with a DeprecationWarning.
+_LEGACY_ALIASES = {
+    "bps": "bps-lpt",
+    "bps_lpt": "bps-lpt",
+    "bps_kk": "bps-kk",
+}
+
+
+def register_scheduler(name: str, cls, *, overwrite: bool = False) -> None:
+    """Add a scheduler class to the :func:`get_scheduler` registry.
+
+    Re-registering the same class under its existing name is a no-op;
+    replacing a registered name with a *different* class requires
+    ``overwrite=True``, so a built-in policy cannot be shadowed
+    silently. ``cls`` must be instantiable to a :class:`Scheduler`.
+    """
+    existing = _SCHEDULERS.get(name)
+    if existing is not None and existing is not cls and not overwrite:
+        raise ValueError(
+            f"scheduler {name!r} is already registered to "
+            f"{existing.__name__}; pass overwrite=True to replace it"
+        )
+    _SCHEDULERS[name] = cls
+
+
+def _resolve_name(name: str) -> str:
+    if name in _SCHEDULERS:
+        return name
+    if name in _LEGACY_ALIASES:
+        canonical = _LEGACY_ALIASES[name]
+        warnings.warn(
+            f"scheduler name {name!r} is deprecated; use {canonical!r}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return canonical
+    raise ValueError(f"Unknown scheduler {name!r}; choose from {sorted(_SCHEDULERS)}")
+
+
+def get_scheduler_class(name: str) -> type:
+    """The registered class for ``name`` (without instantiating it)."""
+    return _SCHEDULERS[_resolve_name(name)]
+
+
+def get_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by registered name.
+
+    ``kwargs`` are forwarded to the policy's constructor (e.g.
+    ``get_scheduler('shuffle', random_state=0)``,
+    ``get_scheduler('adaptive', smoothing=0.8)``).
+    """
+    return get_scheduler_class(name)(**kwargs)
+
+
+def list_schedulers() -> list[str]:
+    """Sorted canonical names of all registered policies."""
+    return sorted(_SCHEDULERS)

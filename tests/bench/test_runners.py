@@ -129,10 +129,23 @@ class TestAblations:
         assert hi < lo
 
     def test_scheduler_ablation_policies(self):
-        rows, _ = run_scheduler_ablation(TINY, m=40, t=4)
+        from repro.scheduling import list_schedulers
+
+        rows, meta = run_scheduler_ablation(TINY, m=40, t=4)
         policies = {r["policy"] for r in rows}
-        assert {"generic", "shuffle", "bps_rank", "oracle_lpt"} <= policies
+        # Registry-driven: every registered policy + the oracle reference.
+        assert policies == set(list_schedulers()) | {"bps_rank", "oracle_lpt"}
+        assert meta["policies"] == list_schedulers() + ["bps_rank", "oracle_lpt"]
         assert all(r["vs_lower_bound"] >= 1.0 - 1e-9 for r in rows)
+
+    def test_scheduler_trajectory_improves_by_batch_three(self):
+        from repro.bench.ablations import run_scheduler_trajectory
+
+        rows, meta = run_scheduler_trajectory(TINY, m=32, t=4, batches=3)
+        assert meta["adaptive_batch3"] < meta["adaptive_batch1"]
+        assert meta["adaptive_batch1"] == meta["static_final"]
+        static = [r["makespan"] for r in rows if r["policy"] == "bps-lpt"]
+        assert static == [static[0]] * 3
 
     def test_approximator_ablation(self):
         rows, _ = run_approximator_ablation(TINY, dataset="Cardio")

@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.core.cost import (
+from repro.scheduling import (
     AnalyticCostModel,
     CostPredictor,
     dataset_meta_features,

@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.core.scheduling import (
+from repro.scheduling import (
     bps_schedule,
     discounted_ranks,
     generic_schedule,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import SUOD
-from repro.core.cost import AnalyticCostModel
+from repro.scheduling import AnalyticCostModel
 from repro.data import load_benchmark, make_claims_dataset, train_test_split
 from repro.detectors import sample_model_pool
 from repro.metrics import imbalance, roc_auc_score
@@ -62,7 +62,7 @@ class TestSchedulingIntegration:
         ) + sample_model_pool(8, families=["HBOS"], random_state=0)
 
         costs = AnalyticCostModel().forecast(pool_sorted, X)
-        from repro.core.scheduling import bps_schedule, generic_schedule
+        from repro.scheduling import bps_schedule, generic_schedule
 
         gen = generic_schedule(len(pool_sorted), 4)
         bps = bps_schedule(costs, 4)

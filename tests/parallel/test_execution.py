@@ -183,3 +183,54 @@ class TestExecutionResultMerge:
         np.testing.assert_array_equal(
             merged.steal_counts, r1.steal_counts + r2.steal_counts
         )
+
+
+class TestPerTaskDurations:
+    """Every backend records per-task wall-clock durations (satellite of
+    the adaptive scheduling loop: ``task_times`` is what the
+    TelemetryRefinedCostModel consumes)."""
+
+    def _tasks(self):
+        return [functools.partial(_sleep_return, 0.002, v) for v in range(6)]
+
+    @pytest.mark.parametrize(
+        "name", ["sequential", "threads", "processes", "shm_processes", "work_stealing"]
+    )
+    def test_backend_records_positive_task_times(self, name):
+        n_workers = 1 if name == "sequential" else 2
+        backend = get_backend(name, n_workers)
+        assignment = np.arange(6) % n_workers
+        res = backend.execute(self._tasks(), assignment)
+        try:
+            assert res.results == list(range(6))
+            assert res.task_times.shape == (6,)
+            assert np.all(res.task_times > 0.0)
+            # Worker busy time is the sum of its tasks' durations.
+            np.testing.assert_allclose(
+                res.worker_times.sum(), res.task_times.sum(), rtol=1e-6
+            )
+        finally:
+            if hasattr(backend, "shutdown"):
+                backend.shutdown()
+
+    def test_virtual_clock_task_times_are_the_known_costs(self):
+        from repro.parallel import SimulatedClusterBackend, WorkStealingBackend
+
+        costs = np.array([3.0, 1.0, 2.0, 5.0])
+        assignment = np.array([0, 0, 1, 1])
+        sim = SimulatedClusterBackend(2).execute(
+            [None] * 4, assignment, known_costs=costs
+        )
+        np.testing.assert_array_equal(sim.task_times, costs)
+        ws = WorkStealingBackend(2).execute([None] * 4, assignment, known_costs=costs)
+        np.testing.assert_array_equal(ws.task_times, costs)
+
+    def test_merge_concatenates_task_times_in_phase_order(self):
+        a = SequentialBackend().execute(make_tasks([1, 2]))
+        b = SequentialBackend().execute(make_tasks([3]))
+        from repro.parallel import ExecutionResult
+
+        merged = ExecutionResult.merge([a, b])
+        np.testing.assert_array_equal(
+            merged.task_times, np.concatenate([a.task_times, b.task_times])
+        )

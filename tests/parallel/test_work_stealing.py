@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.core.scheduling import generic_schedule
+from repro.scheduling import generic_schedule
 from repro.parallel import (
     SimulatedClusterBackend,
     WorkStealingBackend,

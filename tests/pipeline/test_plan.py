@@ -347,3 +347,32 @@ class TestScoreRegression:
         ]
         np.testing.assert_array_equal(score_sets[0], score_sets[1])
         np.testing.assert_array_equal(score_sets[0], score_sets[2])
+
+
+class TestStageTaskTimes:
+    """Per-task durations fold from ExecutionResult into stage reports."""
+
+    def test_execute_report_exposes_task_times(self, data):
+        Xtr, _ = data
+        clf = SUOD(make_pool(), n_jobs=2, backend="threads", random_state=0).fit(Xtr)
+        report = clf.fit_plan_.report_for("execute")
+        assert report.task_times.shape == (clf.n_models,)
+        assert np.all(report.task_times > 0.0)
+        assert report.total_task_time == pytest.approx(report.task_times.sum())
+        payload = report.to_dict()
+        assert len(payload["execution"]["task_times"]) == clf.n_models
+
+    def test_non_execution_report_has_empty_task_times(self, data):
+        Xtr, _ = data
+        clf = SUOD(make_pool(), n_jobs=2, backend="threads", random_state=0).fit(Xtr)
+        report = clf.fit_plan_.report_for("schedule")
+        assert report.task_times.size == 0
+        assert report.total_task_time == 0.0
+        assert "execution" not in report.to_dict()
+
+    def test_merged_execution_concatenates_task_times(self, data):
+        Xtr, Xte = data
+        clf = SUOD(make_pool(), n_jobs=2, backend="threads", random_state=0).fit(Xtr)
+        clf.decision_function(Xte)
+        merged = clf.merged_telemetry()
+        assert merged.task_times.shape == (2 * clf.n_models,)

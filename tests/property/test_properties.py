@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core.scheduling import (
+from repro.scheduling import (
     bps_schedule,
     generic_schedule,
     karmarkar_karp_partition,

@@ -1,0 +1,63 @@
+"""The old repro.core.{scheduling,cost} import paths keep working."""
+
+import importlib
+import sys
+
+import numpy as np
+import pytest
+
+
+def _fresh_import(name):
+    sys.modules.pop(name, None)
+    return importlib.import_module(name)
+
+
+class TestSchedulingShim:
+    def test_import_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="repro.core.scheduling"):
+            _fresh_import("repro.core.scheduling")
+
+    def test_symbols_are_the_new_ones(self):
+        with pytest.warns(DeprecationWarning):
+            shim = _fresh_import("repro.core.scheduling")
+        import repro.scheduling.policies as policies
+
+        for name in policies.__all__:
+            assert getattr(shim, name) is getattr(policies, name)
+        assert list(shim.__all__) == list(policies.__all__)
+
+    def test_legacy_call_still_schedules(self):
+        with pytest.warns(DeprecationWarning):
+            shim = _fresh_import("repro.core.scheduling")
+        costs = np.array([5.0, 1.0, 4.0, 2.0, 3.0])
+        from repro.scheduling import bps_schedule
+
+        np.testing.assert_array_equal(
+            shim.bps_schedule(costs, 2), bps_schedule(costs, 2)
+        )
+
+
+class TestCostShim:
+    def test_import_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="repro.core.cost"):
+            _fresh_import("repro.core.cost")
+
+    def test_symbols_are_the_new_ones(self):
+        with pytest.warns(DeprecationWarning):
+            shim = _fresh_import("repro.core.cost")
+        import repro.scheduling.cost as cost
+
+        for name in cost.__all__:
+            assert getattr(shim, name) is getattr(cost, name)
+
+
+class TestCanonicalPathsDoNotWarn:
+    def test_package_imports_cleanly(self, recwarn):
+        _fresh_import("repro.scheduling")
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_core_package_imports_cleanly(self, recwarn):
+        # repro.core re-exports the scheduling API without touching the
+        # shim modules, so plain `import repro` never warns.
+        _fresh_import("repro.core")
+        assert not [w for w in recwarn if w.category is DeprecationWarning]

@@ -130,3 +130,62 @@ class TestScalingCommand:
     def test_scaling_listed(self, capsys):
         assert main(["list"]) == 0
         assert "scaling" in capsys.readouterr().out
+
+
+class TestSchedulersCommand:
+    def test_table_output_lists_registry_and_trajectory(self, capsys):
+        from repro.scheduling import list_schedulers
+
+        assert main(["schedulers", "--quick"]) == 0
+        out = capsys.readouterr().out
+        for name in list_schedulers():
+            assert name in out
+        assert "Static vs adaptive" in out
+        assert "improved" in out
+
+    def test_json_output_schema(self, capsys):
+        import json
+
+        from repro.scheduling import list_schedulers
+
+        assert main(["schedulers", "--quick", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {p["name"] for p in payload["policies"]} == set(list_schedulers())
+        assert payload["meta"]["adaptive_improved_by_batch3"] is True
+        traj = payload["trajectory"]
+        assert {r["policy"] for r in traj} == set(list_schedulers())
+        adaptive = {
+            r["batch"]: r["makespan"] for r in traj if r["policy"] == "adaptive"
+        }
+        static = {r["batch"]: r["makespan"] for r in traj if r["policy"] == "bps-lpt"}
+        # The acceptance trajectory: identical cold start, then the gap closes.
+        assert adaptive[1] == static[1]
+        assert adaptive[3] < adaptive[1]
+        assert static[3] == static[1]
+        abl = payload["ablation"]
+        assert {r["policy"] for r in abl} == set(list_schedulers()) | {
+            "bps_rank",
+            "oracle_lpt",
+        }
+
+    def test_list_only(self, capsys):
+        assert main(["schedulers", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out and "uses_costs" in out
+        assert "Static vs adaptive" not in out
+
+    def test_list_json_emits_policies_only(self, capsys):
+        import json
+
+        assert main(["schedulers", "--list", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"policies"}
+
+    def test_too_few_batches_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["schedulers", "--batches", "2"])
+        assert "must be >= 3" in capsys.readouterr().err
+
+    def test_schedulers_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "Scheduler registry" in capsys.readouterr().out

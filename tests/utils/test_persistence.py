@@ -99,7 +99,7 @@ class TestEnsemblePersistence:
         )
 
     def test_roundtrip_keeps_fitted_cost_predictor(self, tmp_path, tiny_X):
-        from repro.core.cost import CostPredictor
+        from repro.scheduling import CostPredictor
         from repro.detectors import HBOS, KNN
 
         models = [KNN(n_neighbors=5), HBOS()]

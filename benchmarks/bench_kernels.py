@@ -1,0 +1,86 @@
+"""Compute kernels: the scoring substrate's perf trajectory benchmark.
+
+Every vectorised kernel in :mod:`repro.kernels` is timed against the
+frozen pre-refactor implementation it replaced
+(:mod:`repro.kernels.reference`) on the same data: the batched KD-tree
+query vs the per-row heap search, LOF scoring on top of it, flat batched
+iForest / random-forest / GBM traversal vs the per-tree loops (in the
+consecutive-batch serving pattern the execution plane produces), the
+one-pass CART split search vs the per-feature loop, and the chunked ABOD
+angle kernel vs the per-query loop.
+
+Shape expectations pinned here:
+
+- every kernel reproduces its reference bitwise (a kernel may move
+  floats through different array shapes, never change them);
+- the neighbor-query and iForest-serving kernels actually pay for their
+  complexity with wall-clock wins;
+- the same JSON rows are what ``python -m repro kernels --quick --json``
+  emits, committed as ``BENCH_pr5.json`` and uploaded from CI by the
+  ``bench-smoke`` job (which fails the build on any parity mismatch).
+
+The asserted speedup floors are deliberately looser than the
+measured-and-committed numbers in ``BENCH_pr5.json`` (≥ 3x neighbor
+query, ≥ 2x iForest serving on the 1-CPU dev container): CI runners are
+noisy shared machines, and hard gates at the measured ratios would flake.
+"""
+
+from conftest import run_once
+from repro.bench import format_table
+from repro.bench.runners import run_kernel_benchmarks
+
+_EXPECTED_KERNELS = {
+    "knn_query",
+    "lof_scores",
+    "iforest_scoring",
+    "forest_predict",
+    "gbm_predict",
+    "tree_fit_split_search",
+    "abod_angle_variance",
+}
+
+
+def test_kernel_benchmarks(benchmark, cfg):
+    rows, meta = run_once(
+        benchmark,
+        run_kernel_benchmarks,
+        cfg,
+        n_index=4000,
+        n_query=1500,
+        iforest_train=2048,
+        serve_batch=256,
+        serve_batches=16,
+        ensemble_train=1000,
+        split_rows=2500,
+        abod_queries=1500,
+        repeats=3,
+    )
+    print()
+    print(meta["config"])
+    print(
+        format_table(
+            rows,
+            columns=[
+                "kernel",
+                "reference_s",
+                "vectorized_s",
+                "speedup",
+                "identical",
+            ],
+            title="\nCompute kernels — frozen reference vs vectorized",
+        )
+    )
+
+    # A kernel may move floats through different shapes, never change them.
+    assert meta["all_identical"], "a kernel broke bitwise parity"
+    assert all(r["identical"] for r in rows)
+    assert {r["kernel"] for r in rows} == _EXPECTED_KERNELS
+
+    # Loose floors (BENCH_pr5.json records the measured ratios on a
+    # quiet host; see the module docstring).
+    assert meta["knn_query_speedup"] > 1.5, (
+        f"knn_query only {meta['knn_query_speedup']:.2f}x"
+    )
+    assert meta["iforest_speedup"] > 1.3, (
+        f"iforest_scoring only {meta['iforest_speedup']:.2f}x"
+    )

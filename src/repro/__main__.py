@@ -10,6 +10,7 @@ Usage::
     python -m repro plan [--phase fit|predict|both] [--format table|json]
     python -m repro scaling [--quick] [--json out.json]
     python -m repro schedulers [--quick] [--json out.json]
+    python -m repro kernels [--quick] [--json out.json]
 
 ``plan`` is not an experiment: it compiles a SUOD fit/predict pass into
 its :class:`~repro.pipeline.ExecutionPlan` and prints the stages, the
@@ -28,6 +29,13 @@ the multi-batch static-vs-adaptive trajectory on the virtual-clock
 work-stealing backend — the behavioural check that the ``adaptive``
 policy's telemetry feedback actually closes the forecast gap. Its JSON
 output is committed as ``BENCH_pr4.json`` and uploaded by CI.
+
+``kernels`` microbenchmarks every vectorised compute kernel of
+:mod:`repro.kernels` against its frozen pre-refactor reference path
+(per-row KD-tree heap search, per-tree forest loops, per-feature split
+search, per-query ABOD angles) and verifies the outputs bitwise. Exits
+non-zero if any kernel's parity check fails — the gate CI bench-smoke
+enforces. Its JSON output is committed as ``BENCH_pr5.json``.
 
 Experiments honour the same REPRO_* environment variables as the
 benchmark suite; CLI flags override them.
@@ -450,6 +458,109 @@ def run_schedulers_command(argv=None) -> int:
     return 0 if improved else 1
 
 
+def run_kernels_command(argv=None) -> int:
+    """``python -m repro kernels``: compute-kernel microbenchmarks."""
+    from repro.bench.runners import run_kernel_benchmarks
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro kernels",
+        description=(
+            "Time every vectorised compute kernel (batched KD-tree "
+            "query, LOF scoring, flat iForest/forest/GBM traversal, "
+            "one-pass CART split search, chunked ABOD angles) against "
+            "its frozen pre-refactor reference implementation and check "
+            "the outputs bitwise. Exits non-zero if any parity check "
+            "fails; timings are informational on shared hosts. The JSON "
+            "rows are the format of BENCH_pr5.json and of the CI "
+            "bench-smoke artifact."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: smaller query/serving workloads, 3 repeats",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="write rows + meta as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n-index", type=int, default=None, help="index size n")
+    parser.add_argument("--n-query", type=int, default=None, help="query rows q")
+    parser.add_argument("--trees", type=int, default=None, help="forest size")
+    parser.add_argument(
+        "--serve-batch", type=int, default=None, help="rows per serving batch"
+    )
+    parser.add_argument(
+        "--serve-batches", type=int, default=None, help="consecutive batches"
+    )
+    args = parser.parse_args(argv)
+
+    kwargs = {"seed": args.seed}
+    if args.quick:
+        kwargs.update(
+            n_index=4000,
+            n_query=1500,
+            iforest_train=2048,
+            serve_batch=256,
+            serve_batches=16,
+            ensemble_train=1000,
+            split_rows=2500,
+            abod_queries=1500,
+            repeats=3,
+        )
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    if args.n_index is not None:
+        kwargs["n_index"] = args.n_index
+    if args.n_query is not None:
+        kwargs["n_query"] = args.n_query
+        kwargs.setdefault("abod_queries", args.n_query)
+    if args.trees is not None:
+        kwargs["n_trees"] = args.trees
+    if args.serve_batch is not None:
+        kwargs["serve_batch"] = args.serve_batch
+    if args.serve_batches is not None:
+        kwargs["serve_batches"] = args.serve_batches
+
+    t0 = time.perf_counter()
+    rows, meta = run_kernel_benchmarks(get_config(), **kwargs)
+    elapsed = time.perf_counter() - t0
+
+    payload = {"meta": meta, "rows": rows}
+    if args.json_path == "-":
+        _emit_json(payload, "-")
+    else:
+        print(meta["config"])
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "kernel",
+                    "reference_s",
+                    "vectorized_s",
+                    "speedup",
+                    "identical",
+                ],
+                title="\nCompute kernels — frozen reference vs vectorized",
+            )
+        )
+        print(
+            f"\nknn_query: {meta['knn_query_speedup']:.2f}x, "
+            f"iforest_scoring: {meta['iforest_speedup']:.2f}x "
+            f"(serving batches of {meta['serve_batch']} rows)"
+        )
+        print(f"all kernels bitwise-identical: {meta['all_identical']}")
+        print(f"[kernels done in {elapsed:.1f}s]")
+    if args.json_path and args.json_path != "-":
+        _emit_json(payload, args.json_path)
+    return 0 if meta["all_identical"] else 1
+
+
 def _print_experiment(name: str, cfg) -> None:
     runner, title = EXPERIMENTS[name]
     print(f"\n=== {title} ===")
@@ -473,6 +584,8 @@ def main(argv=None) -> int:
         return run_scaling_command(argv[1:])
     if argv and argv[0] == "schedulers":
         return run_schedulers_command(argv[1:])
+    if argv and argv[0] == "kernels":
+        return run_kernels_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -486,7 +599,7 @@ def main(argv=None) -> int:
         choices=sorted(EXPERIMENTS) + ["list", "all"],
         help=(
             "experiment id ('list' to enumerate, 'all' to run everything; "
-            "see also the 'plan' and 'scaling' subcommands)"
+            "see also the 'plan', 'scaling', and 'kernels' subcommands)"
         ),
     )
     parser.add_argument("--scale", type=float, help="dataset scale in (0, 1]")
@@ -509,6 +622,10 @@ def main(argv=None) -> int:
         print(
             f"{'schedulers':14s} Scheduler registry listing + ablation "
             "(python -m repro schedulers --help)"
+        )
+        print(
+            f"{'kernels':14s} Compute-kernel microbenchmarks + parity gate "
+            "(python -m repro kernels --help)"
         )
         return 0
 

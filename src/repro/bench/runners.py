@@ -50,6 +50,7 @@ __all__ = [
     "run_dynamic_scheduling",
     "run_plan_overhead",
     "run_backend_scaling",
+    "run_kernel_benchmarks",
 ]
 
 
@@ -827,5 +828,218 @@ def run_backend_scaling(
         "scores_identical": all_identical,
         "shm_speedup_vs_processes": shm_vs_procs,
         "shm_speedup_worker_count": largest_t,
+    }
+    return rows, meta
+
+
+def run_kernel_benchmarks(
+    cfg: BenchConfig,
+    *,
+    n_index: int = 8000,
+    n_query: int = 3000,
+    k_neighbors: int = 10,
+    n_features: int = 6,
+    iforest_train: int = 2048,
+    n_trees: int = 100,
+    serve_batch: int = 256,
+    serve_batches: int = 32,
+    ensemble_train: int = 1500,
+    split_rows: int = 4000,
+    split_features: int = 12,
+    abod_queries: int = 3000,
+    repeats: int | None = None,
+    seed: int = 0,
+):
+    """Before/after microbenchmarks for every :mod:`repro.kernels` kernel.
+
+    Each row times one hot-path kernel twice — through the frozen
+    pre-refactor reference implementation
+    (:mod:`repro.kernels.reference`) and through the vectorised batched
+    path now on the production route — on the same data, and checks the
+    outputs bitwise. Wall times are best-of-``repeats``. Scoring-shaped
+    kernels (iForest, forest/GBM predict) run the serving pattern the
+    execution plane produces: ``serve_batches`` consecutive batches of
+    ``serve_batch`` rows, which is where eliminating per-tree Python
+    dispatch pays (single bulk calls of many thousands of rows sit at
+    parity — both formulations are bandwidth-bound there).
+
+    Returns rows of ``{kernel, reference_s, vectorized_s, speedup,
+    identical}`` plus a meta dict with the headline gates
+    (``knn_query_speedup``, ``iforest_speedup``, ``all_identical``) —
+    the format of ``BENCH_pr5.json`` and the CI bench-smoke artifact.
+    """
+    import os
+    import platform
+
+    from repro.detectors import IsolationForest
+    from repro.detectors.lof import _EPS as _LOF_EPS
+    from repro.kernels import pairwise_angle_variance, reference
+    from repro.neighbors import KDTree
+    from repro.supervised import (
+        DecisionTreeRegressor,
+        GradientBoostingRegressor,
+    )
+
+    if repeats is None:
+        repeats = max(2, cfg.trials)
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    def best_of(fn):
+        best, value = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            value = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, value
+
+    rows = []
+
+    def add_row(kernel, ref_fn, vec_fn, same_fn):
+        ref_s, ref_out = best_of(ref_fn)
+        vec_s, vec_out = best_of(vec_fn)
+        rows.append(
+            {
+                "kernel": kernel,
+                "reference_s": ref_s,
+                "vectorized_s": vec_s,
+                "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
+                "identical": bool(same_fn(ref_out, vec_out)),
+            }
+        )
+
+    def arrays_equal(a, b):
+        return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    # -- neighbor query: per-row heap search vs block-batched sweep ------
+    X_index = rng.standard_normal((n_index, n_features))
+    X_query = rng.standard_normal((n_query, n_features))
+    tree = KDTree(X_index)
+    add_row(
+        "knn_query",
+        lambda: reference.kdtree_query_heap(tree, X_query, k_neighbors),
+        lambda: tree.query(X_query, k_neighbors, mode="batched"),
+        arrays_equal,
+    )
+
+    # -- LOF scoring: the full detector on top of the query kernel ------
+    lof = LOF(n_neighbors=k_neighbors, algorithm="kd_tree").fit(X_index)
+
+    def lof_reference():
+        dist, idx = reference.kdtree_query_heap(lof._nn._tree, X_query, k_neighbors)
+        reach = np.maximum(dist, lof._kdist[idx])
+        lrd_q = 1.0 / (reach.mean(axis=1) + _LOF_EPS)
+        return lof._lrd[idx].mean(axis=1) / lrd_q
+
+    add_row(
+        "lof_scores",
+        lof_reference,
+        lambda: lof.decision_function(X_query),
+        np.array_equal,
+    )
+
+    # -- iForest scoring: per-tree loop vs flat batched traversal, in
+    # the consecutive-batch serving pattern ------------------------------
+    iforest = IsolationForest(n_estimators=n_trees, random_state=seed).fit(
+        rng.standard_normal((iforest_train, n_features))
+    )
+    serve = rng.standard_normal((serve_batches, serve_batch, n_features))
+    add_row(
+        "iforest_scoring",
+        lambda: np.concatenate(
+            [
+                reference.iforest_score_loop(iforest._trees, iforest._sub, b)
+                for b in serve
+            ]
+        ),
+        lambda: np.concatenate([iforest.decision_function(b) for b in serve]),
+        np.array_equal,
+    )
+
+    # -- forest / GBM prediction: per-tree loops vs flat traversal ------
+    X_ens = rng.standard_normal((ensemble_train, n_features))
+    y_ens = 2.0 * X_ens[:, 0] + np.sin(3.0 * X_ens[:, 1])
+    forest = RandomForestRegressor(n_estimators=50, random_state=seed).fit(X_ens, y_ens)
+    add_row(
+        "forest_predict",
+        lambda: np.concatenate(
+            [reference.forest_predict_loop(forest, b) for b in serve]
+        ),
+        lambda: np.concatenate([forest.predict(b) for b in serve]),
+        np.array_equal,
+    )
+    gbm = GradientBoostingRegressor(n_estimators=100, random_state=seed).fit(
+        X_ens, y_ens
+    )
+    add_row(
+        "gbm_predict",
+        lambda: np.concatenate([reference.gbm_predict_loop(gbm, b) for b in serve]),
+        lambda: np.concatenate([gbm.predict(b) for b in serve]),
+        np.array_equal,
+    )
+
+    # -- CART split search: per-feature loop vs one 2-D pass ------------
+    X_split = rng.integers(0, 6, size=(split_rows, split_features)).astype(np.float64)
+    y_split = rng.standard_normal(split_rows)
+
+    def fit_tree(engine):
+        return DecisionTreeRegressor(split_search=engine, random_state=seed).fit(
+            X_split, y_split
+        )
+
+    def trees_equal(a, b):
+        return (
+            a.n_nodes_ == b.n_nodes_
+            and np.array_equal(a.feature_, b.feature_)
+            and np.array_equal(a.threshold_, b.threshold_, equal_nan=True)
+            and np.array_equal(a.children_left_, b.children_left_)
+            and np.array_equal(a.children_right_, b.children_right_)
+            and np.array_equal(a.value_, b.value_)
+        )
+
+    add_row(
+        "tree_fit_split_search",
+        lambda: fit_tree("loop"),
+        lambda: fit_tree("vectorized"),
+        trees_equal,
+    )
+
+    # -- ABOD angle variance: per-query loop vs chunked einsum ----------
+    Q_abod = rng.standard_normal((abod_queries, n_features))
+    idx_abod = rng.integers(0, n_index, size=(abod_queries, k_neighbors))
+    add_row(
+        "abod_angle_variance",
+        lambda: reference.abod_scores_loop(Q_abod, X_index, idx_abod),
+        lambda: -pairwise_angle_variance(Q_abod, X_index, idx_abod),
+        np.array_equal,
+    )
+
+    by_kernel = {r["kernel"]: r for r in rows}
+    meta = {
+        "config": cfg.describe(),
+        "benchmark": "compute_kernels",
+        "n_index": n_index,
+        "n_query": n_query,
+        "k_neighbors": k_neighbors,
+        "n_features": n_features,
+        "iforest_train": iforest_train,
+        "n_trees": n_trees,
+        "serve_batch": serve_batch,
+        "serve_batches": serve_batches,
+        "ensemble_train": ensemble_train,
+        "split_rows": split_rows,
+        "split_features": split_features,
+        "abod_queries": abod_queries,
+        "repeats": repeats,
+        "seed": seed,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "all_identical": all(r["identical"] for r in rows),
+        "knn_query_speedup": by_kernel["knn_query"]["speedup"],
+        "iforest_speedup": by_kernel["iforest_scoring"]["speedup"],
     }
     return rows, meta

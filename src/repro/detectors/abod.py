@@ -16,30 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import BaseDetector
+from repro.kernels import pairwise_angle_variance
 from repro.neighbors import NearestNeighbors
 
 __all__ = ["ABOD"]
 
 _EPS = 1e-12
-
-
-def _abof(point: np.ndarray, neighbors: np.ndarray) -> float:
-    """Angle-based outlier factor of one point given its neighbor block.
-
-    Variance over neighbor pairs of the distance-weighted cosine
-    ``<a, b> / (|a|^2 |b|^2)``. The squared norms both weight by
-    proximity (dense surroundings -> large magnitudes -> high variance)
-    and normalise the angle, reproducing the original ABOF definition.
-    """
-    diff = neighbors - point  # (k, d)
-    k = diff.shape[0]
-    iu, ju = np.triu_indices(k, k=1)
-    a, b = diff[iu], diff[ju]
-    dot = np.einsum("ij,ij->i", a, b)
-    na = np.einsum("ij,ij->i", a, a)
-    nb = np.einsum("ij,ij->i", b, b)
-    weighted = dot / (na * nb + _EPS)
-    return float(weighted.var())
 
 
 class ABOD(BaseDetector):
@@ -69,10 +51,14 @@ class ABOD(BaseDetector):
         return self._scores_from_neighbors(X, idx)
 
     def _scores_from_neighbors(self, Q: np.ndarray, idx: np.ndarray) -> np.ndarray:
-        scores = np.empty(Q.shape[0], dtype=np.float64)
-        for i in range(Q.shape[0]):
-            scores[i] = -_abof(Q[i], self._X[idx[i]])
-        return scores
+        """Negated ABOF per query: variance over neighbor pairs of the
+        distance-weighted cosine ``<a, b> / (|a|^2 |b|^2)``. The squared
+        norms both weight by proximity (dense surroundings -> large
+        magnitudes -> high variance) and normalise the angle, reproducing
+        the original ABOF definition; the chunked kernel computes it for
+        all queries at once, bitwise-equal to the per-query loop.
+        """
+        return -pairwise_angle_variance(Q, self._X, idx, eps=_EPS)
 
     def _score(self, X: np.ndarray) -> np.ndarray:
         _, idx = self._nn.kneighbors(X)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import BaseDetector
+from repro.kernels import flatten_forest, forest_value_sum
 from repro.utils.random import check_random_state, spawn_seeds
 
 __all__ = ["IsolationForest"]
@@ -35,8 +36,18 @@ def _average_path_length(n) -> np.ndarray | float:
     return out
 
 
+# c(n) for every leaf size up to the 'auto' subsample cap, precomputed
+# with the vectorised formula above so the values are bitwise the same —
+# the tree build used to allocate a fresh 1-element array per leaf just
+# to read one of these.
+_C_CACHE_MAX = 256
+_C_CACHE = _average_path_length(np.arange(_C_CACHE_MAX + 1))
+
+
 def _leaf_path_adjust(depth: int, size: int) -> float:
     """Leaf annotation: depth plus the expected remaining path c(size)."""
+    if size <= _C_CACHE_MAX:
+        return depth + _C_CACHE[size]
     return depth + float(_average_path_length(np.array([size]))[0])
 
 
@@ -119,7 +130,13 @@ class _ITree:
         self.path_adjust = np.array(path_adjust, dtype=np.float64)
 
     def path_length(self, X: np.ndarray) -> np.ndarray:
-        """Vectorised path length of each sample."""
+        """Vectorised path length of each sample through this one tree.
+
+        Kept as the per-tree reference path (and for introspection);
+        scoring routes through the flat batched forest traversal of
+        :mod:`repro.kernels.trees`, which walks all trees at once with
+        bitwise-identical results.
+        """
         node_of = np.zeros(X.shape[0], dtype=np.int64)
         active = self.feature[node_of] != _LEAF
         while active.any():
@@ -191,12 +208,30 @@ class IsolationForest(BaseDetector):
                 else np.arange(d)
             )
             self._trees.append(_ITree(X[idx], height_limit, t_rng, feats))
+        self._flat_cache = None
         return self._score(X)
 
+    def _flat_forest(self):
+        """The fitted trees concatenated for batched traversal (cached)."""
+        if getattr(self, "_flat_cache", None) is None:
+            self._flat_cache = flatten_forest(
+                (t.feature, t.threshold, t.left, t.right, t.path_adjust)
+                for t in self._trees
+            )
+        return self._flat_cache
+
+    def __getstate__(self):
+        # The flat arena duplicates the trees; rebuild it lazily on load
+        # instead of pickling it.
+        state = self.__dict__.copy()
+        state.pop("_flat_cache", None)
+        return state
+
     def _score(self, X: np.ndarray) -> np.ndarray:
-        depths = np.zeros(X.shape[0], dtype=np.float64)
-        for tree in self._trees:
-            depths += tree.path_length(X)
+        # One batched traversal per row chunk; the leaf path adjustments
+        # accumulate tree-by-tree in fit order, bitwise the same sum the
+        # per-tree scoring loop produced.
+        depths = forest_value_sum(self._flat_forest(), X)
         depths /= len(self._trees)
         c = float(_average_path_length(np.array([self._sub]))[0]) or 1.0
         return 2.0 ** (-depths / c)

@@ -1,0 +1,47 @@
+"""Vectorised, batch-oriented compute kernels for the scoring substrate.
+
+PRs 1–4 made the *orchestration* fast (work stealing, a zero-copy shm
+data plane, adaptive scheduling); this package makes the *compute* those
+layers schedule fast. Each kernel replaces a per-row / per-tree /
+per-feature Python loop with a batched NumPy formulation that produces
+**bitwise-identical** results — the same parity bar the execution
+backends are held to:
+
+- :mod:`repro.kernels.trees` — flat batched tree traversal: a whole
+  forest concatenated into one node arena, all rows routed through all
+  trees in a level-synchronous gather loop. Serves isolation-forest
+  scoring and random-forest / GBM prediction.
+- :mod:`repro.kernels.neighbors` — block-batched KD-tree k-NN with
+  vectorised leaf scans (``argpartition``-style candidate merges instead
+  of per-element heap pushes). Serves KNN / LOF / LoOP scoring.
+- :mod:`repro.kernels.splits` — CART split search over all candidate
+  features in one 2-D argsort + cumsum pass. Serves
+  ``DecisionTreeRegressor.fit`` and therefore every PSA approximator fit.
+- :mod:`repro.kernels.angles` — chunked einsum angle-variance for ABOD.
+- :mod:`repro.kernels.reference` — the frozen pre-refactor
+  implementations each kernel is pinned against (parity tests and
+  before/after microbenchmarks); import it explicitly, it is not
+  re-exported here.
+"""
+
+from repro.kernels.angles import pairwise_angle_variance
+from repro.kernels.neighbors import kdtree_query_batched
+from repro.kernels.splits import best_split_all_features
+from repro.kernels.trees import (
+    FlatForest,
+    flatten_forest,
+    forest_apply,
+    forest_value_sum,
+    tree_apply,
+)
+
+__all__ = [
+    "FlatForest",
+    "flatten_forest",
+    "forest_apply",
+    "forest_value_sum",
+    "tree_apply",
+    "kdtree_query_batched",
+    "best_split_all_features",
+    "pairwise_angle_variance",
+]

@@ -1,0 +1,230 @@
+"""Batched KD-tree k-nearest-neighbor search.
+
+The reference path (:meth:`repro.neighbors.KDTree._query_one`) answers one
+query at a time with a best-first node traversal — correct, but the
+interpreter pays per query per node. This kernel answers a whole *block*
+of queries with two vectorised sweeps:
+
+1. **Home-leaf routing.** Every query descends near-child-only to its
+   home leaf in one level-synchronous gather loop (the same trick the
+   tree kernels use), and the home leaves are scanned in groups to seed
+   each query's candidate set — so pruning bounds are warm before the
+   real search starts.
+2. **Pruned breadth-first sweep.** A frontier of ``(query, node, bound)``
+   states starts at the root and advances one tree level per Python
+   iteration. Leaves reached by the frontier are scanned in one flat
+   vectorised pass per level; far children are generated only while
+   their lower bound is within the query's current kth distance, and
+   stale frontier entries are re-filtered against the (monotonically
+   shrinking) kth bound each level.
+
+Candidate selection uses the canonical ``(distance, index)`` order: the k
+smallest distances, ties broken toward the smaller original index.
+Pruning is *non-strict* — a subtree whose lower bound exactly ties the
+current kth distance is still visited — so every candidate tied at the
+kth distance is always scanned. That makes the output a pure function of
+the data (the k lexicographically smallest ``(distance, index)`` pairs),
+independent of traversal order *and* of how tight the pruning bound is;
+the reference path and this kernel must agree bitwise even on
+adversarial, tie-heavy inputs.
+
+That freedom buys a better bound than the reference's: the sweep tracks
+the per-dimension offsets accumulated along each root-to-node path and
+prunes on ``sqrt(sum(offsets ** 2))`` rather than ``max(offsets)``. The
+squared offsets are reduced with the same row-wise sum as the distance
+computation itself and every term is elementwise dominated, so the bound
+is a true lower bound of the *computed* distance of any point in the
+subtree — float rounding included — which keeps non-strict pruning
+exact.
+
+Leaf distances are computed with the same elementwise expression as the
+reference (``sqrt(((block - x) ** 2).sum(axis))``), so every candidate
+distance is bitwise-identical to the per-query path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kdtree_query_batched"]
+
+_LEAF = -1
+
+
+def kdtree_query_batched(
+    tree,
+    X_query: np.ndarray,
+    k: int,
+    *,
+    exclude_self: bool = False,
+    block_rows: int = 1024,
+) -> tuple[np.ndarray, np.ndarray]:
+    """k nearest neighbors of every query row, block-batched.
+
+    ``tree`` is a built :class:`repro.neighbors.KDTree`; inputs are
+    assumed validated by the caller (:meth:`KDTree.query`). Queries are
+    processed in blocks of ``block_rows`` to bound the working set.
+    Returns ``(distances, indices)`` sorted ascending per row by
+    ``(distance, index)``.
+    """
+    q = X_query.shape[0]
+    out_d = np.empty((q, k), dtype=np.float64)
+    out_i = np.empty((q, k), dtype=np.int64)
+    for start in range(0, q, block_rows):
+        stop = min(start + block_rows, q)
+        d, i = _query_block(
+            tree, X_query[start:stop], k, start if exclude_self else None
+        )
+        out_d[start:stop] = d
+        out_i[start:stop] = i
+    return out_d, out_i
+
+
+def _query_block(tree, Xq: np.ndarray, k: int, self_start: int | None):
+    split_dim, split_val = tree._split_dim, tree._split_val
+    left, right = tree._left, tree._right
+    m = Xq.shape[0]
+    n = tree.n_samples_
+
+    # Candidate state: per query the best-k (distance, index) pairs seen,
+    # kept sorted by the canonical order. Unfilled slots hold +inf with a
+    # sentinel index of n, which sorts after every real candidate.
+    best_d = np.full((m, k), np.inf)
+    best_i = np.full((m, k), n, dtype=np.int64)
+    kth = np.full(m, np.inf)
+    self_idx = None if self_start is None else np.arange(self_start, self_start + m)
+
+    state = (tree, Xq, k, best_d, best_i, kth, self_idx)
+
+    # Phase 1: near-child-only descent of every query to its home leaf.
+    home = np.zeros(m, dtype=np.int64)
+    active = np.nonzero(split_dim[home] != _LEAF)[0]
+    while active.size:
+        nodes = home[active]
+        dim = split_dim[nodes]
+        go_right = Xq[active, dim] - split_val[nodes] >= 0.0
+        nxt = np.where(go_right, right[nodes], left[nodes])
+        home[active] = nxt
+        active = active[split_dim[nxt] != _LEAF]
+    _scan_leaves(state, np.arange(m), home)
+
+    # Phase 2a: pruned breadth-first sweep from the root; the home leaf
+    # of each query is skipped (already scanned). Each frontier state
+    # tracks the per-dimension offsets of its root-to-node path, giving
+    # the sum-of-squares lower bound described in the module docstring.
+    # Reached leaves are *collected* with their bounds, not scanned yet.
+    qs = np.arange(m)
+    nodes = np.zeros(m, dtype=np.int64)
+    bounds = np.zeros(m)
+    off = np.zeros((m, Xq.shape[1]))
+    pend: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    while qs.size:
+        # Bounds only age: drop frontier entries the latest kth beats.
+        keep = bounds <= kth[qs]
+        qs, nodes, bounds, off = qs[keep], nodes[keep], bounds[keep], off[keep]
+        if not qs.size:
+            break
+        at_leaf = split_dim[nodes] == _LEAF
+        if at_leaf.any():
+            lq, ln, lb = qs[at_leaf], nodes[at_leaf], bounds[at_leaf]
+            fresh = ln != home[lq]
+            if fresh.any():
+                pend.append((lq[fresh], ln[fresh], lb[fresh]))
+        inner = ~at_leaf
+        qs, nodes, bounds, off = qs[inner], nodes[inner], bounds[inner], off[inner]
+        if not qs.size:
+            break
+        dim = split_dim[nodes]
+        diff = Xq[qs, dim] - split_val[nodes]
+        go_right = diff >= 0.0
+        near = np.where(go_right, right[nodes], left[nodes])
+        far = np.where(go_right, left[nodes], right[nodes])
+        # The near child inherits its parent's offsets; the far child
+        # updates the crossed dimension to its (never smaller) new gap.
+        far_off = off.copy()
+        r = np.arange(qs.size)
+        far_off[r, dim] = np.maximum(off[r, dim], np.abs(diff))
+        far_bound = np.sqrt((far_off**2).sum(axis=1))
+        far_keep = far_bound <= kth[qs]
+        qs = np.concatenate([qs, qs[far_keep]])
+        nodes = np.concatenate([near, far[far_keep]])
+        bounds = np.concatenate([bounds, far_bound[far_keep]])
+        off = np.concatenate([off, far_off[far_keep]], axis=0)
+
+    # Phase 2b: scan the collected (query, leaf) pairs in bound-ascending
+    # chunks — the batched analogue of best-first ordering. Each chunk's
+    # merge tightens kth, and the survivors are re-filtered before the
+    # next chunk, so most distant pairs die before any distance is
+    # computed. Dropping a pair is exact: its bound exceeded the
+    # then-current kth, so no point in that leaf can enter the answer.
+    if pend:
+        pq = np.concatenate([p[0] for p in pend])
+        pn = np.concatenate([p[1] for p in pend])
+        pb = np.concatenate([p[2] for p in pend])
+        order = np.argsort(pb, kind="stable")
+        pq, pn, pb = pq[order], pn[order], pb[order]
+        chunk = max(256, 2 * m)
+        while pq.size:
+            alive = pb <= kth[pq]
+            pq, pn, pb = pq[alive], pn[alive], pb[alive]
+            if not pq.size:
+                break
+            _scan_leaves(state, pq[:chunk], pn[:chunk])
+            pq, pn, pb = pq[chunk:], pn[chunk:], pb[chunk:]
+    return best_d, best_i
+
+
+def _scan_leaves(state, lq: np.ndarray, ln: np.ndarray) -> None:
+    """Scan every (query, leaf) pair of one sweep level in a single pass.
+
+    The variable-length leaf slices are expanded into one flat candidate
+    list with a repeat/cumsum trick, all candidate distances are computed
+    in one vectorised expression, and the per-query best-k sets are
+    rebuilt with one segmented lexsort over ``(query, distance, index)``
+    — no Python iteration over leaves or queries.
+    """
+    tree, Xq, k, best_d, best_i, kth, self_idx = state
+    # Expand each pair's leaf slice into flat per-candidate arrays.
+    lens = tree._end[ln] - tree._start[ln]
+    pair_of = np.repeat(np.arange(ln.size), lens)
+    offsets = np.arange(pair_of.size) - np.repeat(
+        np.concatenate(([0], np.cumsum(lens)[:-1])), lens
+    )
+    data_row = tree._start[ln][pair_of] + offsets
+    elem_q = lq[pair_of]
+    elem_i = tree._perm[data_row]
+    # Same elementwise expression as the reference per-query scan —
+    # bitwise-identical distances.
+    elem_d = np.sqrt(((tree._data[data_row] - Xq[elem_q]) ** 2).sum(axis=1))
+    if self_idx is not None:
+        elem_d = np.where(elem_i == self_idx[elem_q], np.inf, elem_d)
+
+    # Candidates strictly worse than their query's current kth distance
+    # can never enter the canonical answer (non-strict keeps ties); the
+    # filter leaves the expensive merge a fraction of the scanned set.
+    keep = elem_d <= kth[elem_q]
+    elem_q, elem_d, elem_i = elem_q[keep], elem_d[keep], elem_i[keep]
+    if not elem_q.size:
+        return
+
+    # Merge with the touched queries' current best-k and keep the k
+    # smallest per query in the canonical (distance, index) order.
+    seen = np.zeros(kth.size, dtype=bool)
+    seen[elem_q] = True
+    touched = np.nonzero(seen)[0]
+    q_all = np.concatenate([elem_q, np.repeat(touched, k)])
+    d_all = np.concatenate([elem_d, best_d[touched].ravel()])
+    i_all = np.concatenate([elem_i, best_i[touched].ravel()])
+    order = np.lexsort((i_all, d_all, q_all))
+    q_sorted = q_all[order]
+    # Rank of each candidate within its query segment; the first k win.
+    seg_start = np.nonzero(np.r_[True, q_sorted[1:] != q_sorted[:-1]])[0]
+    rank = np.arange(q_sorted.size) - np.repeat(
+        seg_start, np.diff(np.r_[seg_start, q_sorted.size])
+    )
+    keep = order[rank < k]
+    # Every query holds >= k candidates (best-k is padded), so the kept
+    # entries form exactly k rows per touched query, ascending by query.
+    best_d[touched] = d_all[keep].reshape(touched.size, k)
+    best_i[touched] = i_all[keep].reshape(touched.size, k)
+    kth[touched] = best_d[touched, -1]

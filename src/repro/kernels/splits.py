@@ -1,0 +1,69 @@
+"""Vectorised CART split search: all candidate features in one 2-D pass.
+
+The reference split search (:func:`repro.kernels.reference.best_split_loop`)
+loops Python-level over candidate features, paying an interpreter round
+trip — argsort, gather, cumsum, mask, argmax — per feature per node. This
+kernel evaluates **every candidate feature of a node at once**: one
+``(n_node, m_try)`` stable argsort, one 2-D cumsum of the targets, one
+broadcast proxy-gain computation, one argmax per axis. The arithmetic is
+bitwise-identical to the loop because every column operation (stable
+mergesort, sequential cumsum, elementwise proxy) is exactly the
+per-feature operation applied along ``axis=0``, and the winning feature is
+chosen by first-maximum order just like the loop's strict ``>`` update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["best_split_all_features"]
+
+
+def best_split_all_features(
+    X: np.ndarray,
+    idx: np.ndarray,
+    feats: np.ndarray,
+    y_node: np.ndarray,
+    sum_total: float,
+    *,
+    min_samples_leaf: int = 1,
+):
+    """Best MSE-proxy split of one node, searched over all ``feats`` at once.
+
+    Parameters mirror the reference loop: ``idx`` are the node's row
+    indices into ``X``, ``y_node = y[idx]``, and ``sum_total`` its
+    precomputed target sum. Returns ``(feature, pos, order, proxy_gain)``
+    where ``order`` sorts the node's rows by the winning feature and the
+    split puts positions ``[0..pos]`` left — or ``None`` when no valid
+    split exists (all candidate features constant, or ``min_samples_leaf``
+    unsatisfiable).
+    """
+    n_i = idx.size
+    # (n_i, m) gather of the candidate feature columns; each column is
+    # then processed exactly as the per-feature loop would process it.
+    XS = X[idx[:, None], feats]
+    order = np.argsort(XS, axis=0, kind="mergesort")
+    xs = np.take_along_axis(XS, order, axis=0)
+    ys = y_node[order]
+    # Candidate split after position i (left gets [0..i]); the cumsum runs
+    # sequentially down each column, matching the 1-D reference bitwise.
+    csum = np.cumsum(ys, axis=0)[:-1]
+    n_left = np.arange(1, n_i)[:, None]
+    n_right = n_i - n_left
+    # Weighted variance reduction simplifies to maximising
+    # sum_l^2 / n_l + sum_r^2 / n_r (the "proxy" criterion).
+    proxy = csum**2 / n_left + (sum_total - csum) ** 2 / n_right
+    valid = xs[1:] > xs[:-1]  # no split between equal values
+    if min_samples_leaf > 1:
+        msl = min_samples_leaf
+        valid &= (n_left >= msl) & (n_right >= msl)
+    proxy = np.where(valid, proxy, -np.inf)
+    pos = np.argmax(proxy, axis=0)
+    col_best = proxy[pos, np.arange(feats.size)]
+    # First maximum wins, reproducing the loop's strict-> update order
+    # over features; a column with no valid split carries -inf and can
+    # only "win" when every column is -inf, i.e. no split exists.
+    j = int(np.argmax(col_best))
+    if col_best[j] == -np.inf:
+        return None
+    return int(feats[j]), int(pos[j]), order[:, j], float(col_best[j])

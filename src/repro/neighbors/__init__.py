@@ -2,12 +2,13 @@
 
 Two interchangeable engines — chunked brute force and a from-scratch
 KD-tree — behind a single :class:`NearestNeighbors` facade with automatic
-dispatch. Every proximity-based detector in :mod:`repro.detectors` queries
-neighbors through this package.
+dispatch (:func:`choose_engine` documents the rule). Every proximity-based
+detector in :mod:`repro.detectors` queries neighbors through this package;
+KD-tree batches route through :func:`repro.kernels.kdtree_query_batched`.
 """
 
 from repro.neighbors.brute import brute_force_kneighbors
 from repro.neighbors.kdtree import KDTree
-from repro.neighbors.api import NearestNeighbors
+from repro.neighbors.api import NearestNeighbors, choose_engine
 
-__all__ = ["NearestNeighbors", "KDTree", "brute_force_kneighbors"]
+__all__ = ["NearestNeighbors", "KDTree", "brute_force_kneighbors", "choose_engine"]

@@ -3,7 +3,8 @@
 ``algorithm='auto'`` picks the KD-tree for low-dimensional Euclidean data
 (where pruning wins) and chunked brute force otherwise — mirroring how the
 paper's proximity detectors behave under the RP module, which shrinks
-dimensionality into KD-tree territory.
+dimensionality into KD-tree territory. The exact rule lives in
+:func:`choose_engine` so callers and docs can interrogate it.
 """
 
 from __future__ import annotations
@@ -14,14 +15,46 @@ from repro.neighbors.brute import brute_force_kneighbors
 from repro.neighbors.kdtree import KDTree
 from repro.utils.validation import check_array, check_is_fitted
 
-__all__ = ["NearestNeighbors"]
+__all__ = ["NearestNeighbors", "choose_engine"]
 
 _ALGORITHMS = ("auto", "brute", "kd_tree")
 
 # Beyond this dimensionality KD-tree pruning degenerates to a full scan
 # with per-node Python overhead; brute force is strictly better.
 _KDTREE_MAX_DIM = 15
+# Below this many points the chunked brute-force scan (one vectorised
+# distance matrix) beats building and walking a tree outright.
 _KDTREE_MIN_SAMPLES = 256
+
+
+def choose_engine(n_samples: int, n_features: int, metric: str) -> str:
+    """The ``algorithm='auto'`` heuristic: which engine serves a dataset.
+
+    Returns ``'kd_tree'`` only inside the regime where tree pruning can
+    actually win, and falls back to the already-vectorised
+    :func:`~repro.neighbors.brute.brute_force_kneighbors` otherwise:
+
+    - ``metric != 'euclidean'`` — the KD-tree's split-plane bounds are
+      Euclidean lower bounds; other metrics go brute.
+    - ``n_features > 15`` — in high dimensions every split-plane gap is
+      small relative to typical point distances (the curse of
+      dimensionality), pruning stops discarding subtrees, and the tree
+      degenerates to a full scan paying traversal overhead on top. The
+      paper's RP module projects the costly detectors *below* this
+      threshold by design, which is what keeps their KNN/LOF/LoOP
+      members on the fast engine.
+    - ``n_samples < 256`` — one (n, n) distance matrix is a single
+      vectorised operation; a tree cannot amortise its build cost.
+
+    Both engines return identical neighbor sets on Euclidean data up to
+    the tie rule at equal distances (the KD-tree resolves ties toward
+    the smaller index; brute force follows ``argpartition`` order).
+    """
+    if metric != "euclidean":
+        return "brute"
+    if n_features > _KDTREE_MAX_DIM or n_samples < _KDTREE_MIN_SAMPLES:
+        return "brute"
+    return "kd_tree"
 
 
 class NearestNeighbors:
@@ -60,15 +93,7 @@ class NearestNeighbors:
         self._X = X
         engine = self.algorithm
         if engine == "auto":
-            engine = (
-                "kd_tree"
-                if (
-                    self.metric == "euclidean"
-                    and X.shape[1] <= _KDTREE_MAX_DIM
-                    and X.shape[0] >= _KDTREE_MIN_SAMPLES
-                )
-                else "brute"
-            )
+            engine = choose_engine(X.shape[0], X.shape[1], self.metric)
         if engine == "kd_tree" and self.metric != "euclidean":
             raise ValueError("kd_tree engine supports only the euclidean metric")
         self._engine = engine

@@ -6,6 +6,19 @@ slices into a reordered copy of the data, so each visited leaf costs one
 small vectorised distance computation rather than a Python loop over
 points.
 
+Queries run through one of two engines with identical results:
+
+- a per-query best-first traversal (:meth:`KDTree._query_one`) whose leaf
+  scans merge candidates with one vectorised selection per leaf instead
+  of per-element heap pushes — the reference path;
+- the block-batched kernel (:func:`repro.kernels.kdtree_query_batched`)
+  that answers whole query blocks with level-synchronous sweeps — the
+  fast path :meth:`query` dispatches to for non-trivial batches.
+
+Both engines return the k smallest distances with ties broken toward the
+smaller original index (the canonical ``(distance, index)`` order), which
+is what makes their outputs provably — and testably — identical.
+
 The tree targets low/medium dimensionality (the regime the paper's RP
 module creates); :class:`repro.neighbors.api.NearestNeighbors` dispatches
 back to brute force when ``d`` is large and pruning cannot win.
@@ -17,9 +30,16 @@ import heapq
 
 import numpy as np
 
+from repro.kernels.neighbors import kdtree_query_batched
+
 __all__ = ["KDTree"]
 
 _LEAF = -1
+
+# Below this many query rows the per-query reference path wins: the
+# batched kernel's fixed setup (frontier arrays, leaf grouping) is not
+# worth amortising over a handful of rows.
+_BATCH_MIN_QUERIES = 16
 
 
 class KDTree:
@@ -99,14 +119,27 @@ class KDTree:
 
     # ------------------------------------------------------------------
     def query(
-        self, X_query: np.ndarray, k: int, *, exclude_self: bool = False
+        self,
+        X_query: np.ndarray,
+        k: int,
+        *,
+        exclude_self: bool = False,
+        mode: str = "auto",
+        block_rows: int = 1024,
     ) -> tuple[np.ndarray, np.ndarray]:
         """k nearest neighbors of each query point.
 
-        Returns ``(distances, indices)`` sorted ascending per row; indices
-        refer to the original (pre-permutation) row order. With
-        ``exclude_self`` the query is assumed row-aligned with the indexed
-        data and each point skips itself.
+        Returns ``(distances, indices)`` sorted ascending per row by
+        ``(distance, index)`` — ties broken toward the smaller original
+        index; indices refer to the original (pre-permutation) row
+        order. With ``exclude_self`` the query is assumed row-aligned
+        with the indexed data and each point skips itself.
+
+        ``mode`` selects the engine: ``'batched'`` runs the
+        block-batched kernel (``block_rows`` queries per block),
+        ``'single'`` the per-query reference traversal, and ``'auto'``
+        (default) picks batched for non-trivial query counts. Both
+        engines return identical arrays.
         """
         X_query = np.asarray(X_query, dtype=np.float64)
         if X_query.ndim != 2 or X_query.shape[1] != self.n_features_:
@@ -116,8 +149,14 @@ class KDTree:
         max_k = self.n_samples_ - 1 if exclude_self else self.n_samples_
         if not 1 <= k <= max_k:
             raise ValueError(f"k={k} out of range [1, {max_k}]")
+        if mode not in ("auto", "batched", "single"):
+            raise ValueError(f"mode must be auto|batched|single, got {mode!r}")
 
         q = X_query.shape[0]
+        if mode == "batched" or (mode == "auto" and q >= _BATCH_MIN_QUERIES):
+            return kdtree_query_batched(
+                self, X_query, k, exclude_self=exclude_self, block_rows=block_rows
+            )
         out_d = np.empty((q, k), dtype=np.float64)
         out_i = np.empty((q, k), dtype=np.int64)
         for qi in range(q):
@@ -127,13 +166,29 @@ class KDTree:
         return out_d, out_i
 
     def _query_one(self, x: np.ndarray, k: int, self_index: int):
-        # Max-heap of the current k best as (-dist, original_index).
-        heap: list[tuple[float, int]] = []
+        """Best-first single-query search — the kernel's reference path.
+
+        Node visit order and pruning bounds are the classic best-first
+        traversal; each visited leaf is folded into the running best-k
+        with one vectorised ``(distance, index)`` selection (the
+        canonical order the batched kernel reproduces) instead of
+        per-element heap pushes.
+        """
+        # Current best-k, kept sorted by (distance, index); unfilled
+        # slots hold +inf with a sentinel index that sorts last.
+        best_d = np.full(k, np.inf)
+        best_i = np.full(k, self.n_samples_, dtype=np.int64)
+        kth = np.inf
         # Min-heap of nodes to visit as (lower_bound_dist, node).
         node_heap: list[tuple[float, int]] = [(0.0, 0)]
         while node_heap:
             bound, node = heapq.heappop(node_heap)
-            if len(heap) == k and bound >= -heap[0][0]:
+            # Non-strict: a subtree whose lower bound ties the current kth
+            # distance is still visited, so every candidate tied at the
+            # kth distance is scanned and the canonical (distance, index)
+            # selection is independent of traversal order — the property
+            # that makes this path and the batched kernel provably equal.
+            if bound > kth:
                 break
             dim = self._split_dim[node]
             if dim == _LEAF:
@@ -141,13 +196,15 @@ class KDTree:
                 block = self._data[lo:hi]
                 d = np.sqrt(((block - x) ** 2).sum(axis=1))
                 orig = self._perm[lo:hi]
-                for dist, oi in zip(d, orig):
-                    if oi == self_index:
-                        continue
-                    if len(heap) < k:
-                        heapq.heappush(heap, (-dist, int(oi)))
-                    elif dist < -heap[0][0]:
-                        heapq.heapreplace(heap, (-dist, int(oi)))
+                if self_index >= 0:
+                    keep = orig != self_index
+                    d, orig = d[keep], orig[keep]
+                cand_d = np.concatenate([best_d, d])
+                cand_i = np.concatenate([best_i, orig])
+                # Complex key = lexicographic (distance, index) order.
+                sel = np.argsort(cand_d + 1j * cand_i)[:k]
+                best_d, best_i = cand_d[sel], cand_i[sel]
+                kth = best_d[-1]
                 continue
             diff = x[dim] - self._split_val[node]
             near, far = (
@@ -157,10 +214,6 @@ class KDTree:
             )
             heapq.heappush(node_heap, (bound, near))
             far_bound = max(bound, abs(diff))
-            if len(heap) < k or far_bound < -heap[0][0]:
+            if far_bound <= kth:
                 heapq.heappush(node_heap, (far_bound, far))
-
-        pairs = sorted((-nd, oi) for nd, oi in heap)
-        dists = np.array([p[0] for p in pairs], dtype=np.float64)
-        idxs = np.array([p[1] for p in pairs], dtype=np.int64)
-        return dists, idxs
+        return best_d, best_i

@@ -11,11 +11,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import flatten_forest, forest_value_sum
 from repro.supervised.tree import DecisionTreeRegressor
 from repro.utils.random import check_random_state, spawn_seeds
 from repro.utils.validation import check_array, check_is_fitted, column_or_1d
 
 __all__ = ["RandomForestRegressor"]
+
+
+def _flat_cart_forest(estimators):
+    """Concatenate fitted CART trees for batched traversal."""
+    return flatten_forest(
+        (t.feature_, t.threshold_, t.children_left_, t.children_right_, t.value_)
+        for t in estimators
+    )
 
 
 class RandomForestRegressor:
@@ -109,6 +118,7 @@ class RandomForestRegressor:
                     oob_cnt[mask] += 1
 
         self.n_features_in_ = X.shape[1]
+        self._flat_cache = None
         self.feature_importances_ = np.mean(
             [t.feature_importances_ for t in self.estimators_], axis=0
         )
@@ -125,13 +135,30 @@ class RandomForestRegressor:
             )
         return self
 
+    def _flat_forest(self):
+        if getattr(self, "_flat_cache", None) is None:
+            self._flat_cache = _flat_cart_forest(self.estimators_)
+        return self._flat_cache
+
+    def __getstate__(self):
+        # The flat arena duplicates the trees; rebuild it lazily on load
+        # instead of pickling it.
+        state = self.__dict__.copy()
+        state.pop("_flat_cache", None)
+        return state
+
     def predict(self, X) -> np.ndarray:
-        """Mean prediction across trees."""
+        """Mean prediction across trees (batched flat traversal)."""
         check_is_fitted(self, "estimators_")
         X = check_array(X, name="X")
-        out = np.zeros(X.shape[0], dtype=np.float64)
-        for tree in self.estimators_:
-            out += tree.predict(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        # One batched traversal per row chunk; leaf means accumulate
+        # tree-by-tree in fit order, bitwise the same sum the per-tree
+        # prediction loop produced.
+        out = forest_value_sum(self._flat_forest(), X)
         out /= len(self.estimators_)
         return out
 

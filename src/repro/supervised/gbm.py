@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import forest_value_sum
+from repro.supervised.forest import _flat_cart_forest
 from repro.supervised.tree import DecisionTreeRegressor
 from repro.utils.random import check_random_state, spawn_seeds
 from repro.utils.validation import check_array, check_is_fitted, column_or_1d
@@ -104,7 +106,20 @@ class GradientBoostingRegressor:
         total = importances.sum()
         self.feature_importances_ = importances / total if total > 0 else importances
         self.n_features_in_ = X.shape[1]
+        self._flat_cache = None
         return self
+
+    def _flat_forest(self):
+        if getattr(self, "_flat_cache", None) is None:
+            self._flat_cache = _flat_cart_forest(self.estimators_)
+        return self._flat_cache
+
+    def __getstate__(self):
+        # The flat arena duplicates the trees; rebuild it lazily on load
+        # instead of pickling it.
+        state = self.__dict__.copy()
+        state.pop("_flat_cache", None)
+        return state
 
     def predict(self, X) -> np.ndarray:
         check_is_fitted(self, "estimators_")
@@ -113,16 +128,24 @@ class GradientBoostingRegressor:
             raise ValueError(
                 f"X has {X.shape[1]} features, expected {self.n_features_in_}"
             )
-        out = np.full(X.shape[0], self.init_)
-        for tree in self.estimators_:
-            out += self.learning_rate * tree.predict(X)
-        return out
+        # One batched traversal per row chunk; stage values accumulate in
+        # boosting order with the learning-rate scaling, bitwise the same
+        # sum the per-stage prediction loop produced.
+        return forest_value_sum(
+            self._flat_forest(), X, init=self.init_, scale=self.learning_rate
+        )
 
     def staged_predict(self, X):
         """Yield predictions after each boosting stage (for early-stop
-        diagnostics)."""
+        diagnostics). Deliberately lazy: each consumed stage pays one
+        tree traversal, so breaking out early costs only the stages
+        actually inspected."""
         check_is_fitted(self, "estimators_")
         X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
         out = np.full(X.shape[0], self.init_)
         for tree in self.estimators_:
             out = out + self.learning_rate * tree.predict(X)

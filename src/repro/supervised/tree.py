@@ -1,23 +1,32 @@
 """CART regression tree with vectorised split search.
 
 The tree is stored in flat arrays (feature, threshold, children, value),
-built iteratively with an explicit stack. Split search per node is fully
-vectorised: each candidate feature is sorted once and the best threshold
-found from prefix sums of ``y`` and ``y^2`` (variance-reduction / MSE
-criterion), so the per-node cost is ``O(d' * n log n)`` with no inner
-Python loop over samples.
+built iteratively with an explicit stack. Split search per node runs
+through :func:`repro.kernels.best_split_all_features`: every candidate
+feature is evaluated in one 2-D stable argsort + cumsum pass (variance-
+reduction / MSE criterion), so a node costs one interpreter round trip
+instead of one per feature. ``split_search='loop'`` selects the frozen
+per-feature reference loop instead — bitwise-identical trees, kept for
+parity tests and before/after benchmarks.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import best_split_all_features, tree_apply
+from repro.kernels.reference import best_split_loop
 from repro.utils.random import check_random_state
 from repro.utils.validation import check_array, check_is_fitted, column_or_1d
 
 __all__ = ["DecisionTreeRegressor"]
 
 _UNDEFINED = -2
+
+_SPLIT_SEARCHES = {
+    "vectorized": best_split_all_features,
+    "loop": best_split_loop,
+}
 
 
 def _resolve_max_features(max_features, n_features: int) -> int:
@@ -54,6 +63,9 @@ class DecisionTreeRegressor:
         Features sampled (without replacement) per split.
     min_impurity_decrease : float, default 0.0
         Minimum weighted impurity decrease to accept a split.
+    split_search : {'vectorized', 'loop'}, default 'vectorized'
+        Split-search engine: the all-features-at-once kernel or the
+        per-feature reference loop. Both grow bitwise-identical trees.
     random_state : seed or Generator
         Controls feature subsampling.
 
@@ -73,6 +85,7 @@ class DecisionTreeRegressor:
         min_samples_leaf: int = 1,
         max_features=None,
         min_impurity_decrease: float = 0.0,
+        split_search: str = "vectorized",
         random_state=None,
     ):
         self.max_depth = max_depth
@@ -80,6 +93,7 @@ class DecisionTreeRegressor:
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.min_impurity_decrease = min_impurity_decrease
+        self.split_search = split_search
         self.random_state = random_state
 
     # ------------------------------------------------------------------
@@ -96,6 +110,12 @@ class DecisionTreeRegressor:
             raise ValueError("min_samples_leaf must be >= 1")
         if self.max_depth is not None and self.max_depth < 0:
             raise ValueError("max_depth must be >= 0")
+        if self.split_search not in _SPLIT_SEARCHES:
+            raise ValueError(
+                f"split_search must be one of {tuple(_SPLIT_SEARCHES)}, "
+                f"got {self.split_search!r}"
+            )
+        find_split = _SPLIT_SEARCHES[self.split_search]
 
         n, d = X.shape
         rng = check_random_state(self.random_state)
@@ -141,33 +161,18 @@ class DecisionTreeRegressor:
             feats = (
                 rng.choice(d, size=m_try, replace=False) if m_try < d else np.arange(d)
             )
-            best_gain, best_f, best_pos, best_order = -np.inf, -1, -1, None
             sum_total = y_i.sum()
-            for f in feats:
-                order = np.argsort(X[idx, f], kind="mergesort")
-                xs = X[idx[order], f]
-                ys = y_i[order]
-                # Candidate split after position i (left gets [0..i]).
-                csum = np.cumsum(ys)[:-1]
-                n_left = np.arange(1, n_i)
-                n_right = n_i - n_left
-                # Weighted variance reduction simplifies to maximising
-                # sum_l^2 / n_l + sum_r^2 / n_r (the "proxy" criterion).
-                proxy = csum**2 / n_left + (sum_total - csum) ** 2 / n_right
-                valid = xs[1:] > xs[:-1]  # no split between equal values
-                if self.min_samples_leaf > 1:
-                    msl = self.min_samples_leaf
-                    valid &= (n_left >= msl) & (n_right >= msl)
-                if not valid.any():
-                    continue
-                proxy = np.where(valid, proxy, -np.inf)
-                pos = int(np.argmax(proxy))
-                if proxy[pos] > best_gain:
-                    best_gain, best_f = proxy[pos], int(f)
-                    best_pos, best_order = pos, order
-
-            if best_f < 0:
+            found = find_split(
+                X,
+                idx,
+                feats,
+                y_i,
+                sum_total,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            if found is None:
                 continue
+            best_f, best_pos, best_order, _ = found
 
             # Convert proxy back to true weighted impurity decrease.
             sum_left = y_i[best_order][: best_pos + 1].sum()
@@ -218,18 +223,13 @@ class DecisionTreeRegressor:
             raise ValueError(
                 f"X has {X.shape[1]} features, expected {self.n_features_in_}"
             )
-        node_of = np.zeros(X.shape[0], dtype=np.int64)
-        active = self.feature_[node_of] != _UNDEFINED
-        while active.any():
-            rows = np.nonzero(active)[0]
-            nodes = node_of[rows]
-            f = self.feature_[nodes]
-            go_left = X[rows, f] <= self.threshold_[nodes]
-            node_of[rows] = np.where(
-                go_left, self.children_left_[nodes], self.children_right_[nodes]
-            )
-            active[rows] = self.feature_[node_of[rows]] != _UNDEFINED
-        return node_of
+        return tree_apply(
+            self.feature_,
+            self.threshold_,
+            self.children_left_,
+            self.children_right_,
+            X,
+        )
 
     def predict(self, X) -> np.ndarray:
         """Mean training target of the leaf each sample lands in."""

@@ -1,0 +1,53 @@
+"""Engine-dispatch heuristic and the iForest c(n) leaf cache."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.iforest import (
+    _C_CACHE,
+    _average_path_length,
+    _leaf_path_adjust,
+)
+from repro.neighbors import NearestNeighbors, choose_engine
+
+
+class TestChooseEngine:
+    @pytest.mark.parametrize(
+        "n,d,metric,expected",
+        [
+            (1000, 8, "euclidean", "kd_tree"),
+            (1000, 16, "euclidean", "brute"),  # above the dim threshold
+            (255, 8, "euclidean", "brute"),  # below the size threshold
+            (256, 15, "euclidean", "kd_tree"),  # both thresholds inclusive
+            (10000, 4, "manhattan", "brute"),  # non-euclidean always brute
+        ],
+    )
+    def test_regimes(self, n, d, metric, expected):
+        assert choose_engine(n, d, metric) == expected
+
+    def test_fit_uses_heuristic(self, rng):
+        low = NearestNeighbors(algorithm="auto").fit(rng.standard_normal((400, 6)))
+        assert low._engine == "kd_tree"
+        high = NearestNeighbors(algorithm="auto").fit(rng.standard_normal((400, 20)))
+        assert high._engine == "brute"
+        small = NearestNeighbors(algorithm="auto").fit(rng.standard_normal((50, 6)))
+        assert small._engine == "brute"
+
+    def test_engines_agree_on_distances(self, rng):
+        X = rng.standard_normal((400, 6))
+        kd = NearestNeighbors(n_neighbors=5, algorithm="kd_tree").fit(X)
+        br = NearestNeighbors(n_neighbors=5, algorithm="brute").fit(X)
+        dk, _ = kd.kneighbors()
+        db, _ = br.kneighbors()
+        np.testing.assert_allclose(dk, db, rtol=1e-7, atol=1e-7)
+
+
+class TestLeafPathAdjustCache:
+    def test_cache_matches_vectorised_formula(self):
+        sizes = np.arange(_C_CACHE.size)
+        np.testing.assert_array_equal(_C_CACHE, _average_path_length(sizes))
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 3, 17, 256, 1000])
+    def test_scalar_path_matches_array_path(self, size):
+        expected = 5 + float(_average_path_length(np.array([size]))[0])
+        assert _leaf_path_adjust(5, size) == expected

@@ -1,0 +1,168 @@
+"""Batched KD-tree query vs the per-query reference path, bitwise.
+
+The canonical (distance, index) order plus non-strict pruning make the
+query answer a pure function of the data, so the block-batched kernel and
+the single-query traversal must agree to the last bit — including on
+adversarial tie-heavy inputs where every selection boundary is degenerate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.reference import kdtree_query_heap
+from repro.neighbors import KDTree, brute_force_kneighbors
+
+
+def _both(tree, Q, k, **kw):
+    bd, bi = tree.query(Q, k, mode="batched", **kw)
+    sd, si = tree.query(Q, k, mode="single", **kw)
+    return (bd, bi), (sd, si)
+
+
+def _assert_identical(pair_a, pair_b):
+    np.testing.assert_array_equal(pair_a[0], pair_b[0])
+    np.testing.assert_array_equal(pair_a[1], pair_b[1])
+
+
+class TestBatchedMatchesSingle:
+    @pytest.mark.parametrize(
+        "n,d,k,leaf", [(300, 3, 5, 16), (1000, 6, 10, 40), (64, 2, 2, 1)]
+    )
+    def test_random_data(self, rng, n, d, k, leaf):
+        X = rng.standard_normal((n, d))
+        Q = rng.standard_normal((53, d))
+        tree = KDTree(X, leaf_size=leaf)
+        a, b = _both(tree, Q, k)
+        _assert_identical(a, b)
+
+    def test_exclude_self(self, rng):
+        X = rng.standard_normal((200, 4))
+        tree = KDTree(X, leaf_size=8)
+        a, b = _both(tree, X, 6, exclude_self=True)
+        _assert_identical(a, b)
+        assert not (a[1] == np.arange(200)[:, None]).any()
+
+    def test_block_boundaries(self, rng):
+        # Query counts that do not divide the block size, and a block
+        # size smaller than the query count, must not change answers.
+        X = rng.standard_normal((400, 3))
+        tree = KDTree(X, leaf_size=16)
+        Q = rng.standard_normal((45, 3))
+        ref = tree.query(Q, 7, mode="single")
+        for block in (1, 7, 44, 45, 46, 1024):
+            got = tree.query(Q, 7, mode="batched", block_rows=block)
+            _assert_identical(got, ref)
+
+    def test_exclude_self_across_blocks(self, rng):
+        # Self-indices are global row numbers; a block offset must not
+        # shift them.
+        X = rng.standard_normal((150, 3))
+        tree = KDTree(X, leaf_size=8)
+        a = tree.query(X, 4, exclude_self=True, mode="batched", block_rows=31)
+        b = tree.query(X, 4, exclude_self=True, mode="single")
+        _assert_identical(a, b)
+
+    @pytest.mark.parametrize("k", [1, 39])
+    def test_k_extremes(self, rng, k):
+        X = rng.standard_normal((40, 3))
+        tree = KDTree(X, leaf_size=4)
+        a, b = _both(tree, rng.standard_normal((20, 3)), k)
+        _assert_identical(a, b)
+
+    def test_one_dimensional(self, rng):
+        X = rng.standard_normal((500, 1))
+        tree = KDTree(X, leaf_size=8)
+        a, b = _both(tree, X[:60], 5)
+        _assert_identical(a, b)
+
+    def test_auto_mode_dispatch(self, rng):
+        # auto == batched for large query sets, == single for tiny ones;
+        # either way the numbers match the explicit engines.
+        X = rng.standard_normal((300, 3))
+        tree = KDTree(X, leaf_size=16)
+        big = rng.standard_normal((64, 3))
+        _assert_identical(tree.query(big, 5), tree.query(big, 5, mode="single"))
+        tiny = rng.standard_normal((3, 3))
+        _assert_identical(tree.query(tiny, 5), tree.query(tiny, 5, mode="batched"))
+
+    def test_invalid_mode_rejected(self, rng):
+        tree = KDTree(rng.standard_normal((30, 2)))
+        with pytest.raises(ValueError, match="mode"):
+            tree.query(rng.standard_normal((5, 2)), 2, mode="heap")
+
+
+class TestDistanceTies:
+    """Degenerate inputs where every k-th boundary is a tie."""
+
+    def test_duplicate_groups(self, rng):
+        base = rng.standard_normal((15, 2))
+        X = np.repeat(base, 6, axis=0)
+        tree = KDTree(X, leaf_size=4)
+        a, b = _both(tree, X[:40], 8, block_rows=9)
+        _assert_identical(a, b)
+        # Canonical rule: the six zero-distance duplicates of each query
+        # are returned smallest-index-first.
+        np.testing.assert_array_equal(a[1][0, :6], np.arange(6))
+
+    def test_duplicate_groups_exclude_self(self, rng):
+        base = rng.standard_normal((12, 3))
+        X = np.repeat(base, 5, axis=0)
+        tree = KDTree(X, leaf_size=4)
+        a, b = _both(tree, X, 7, exclude_self=True, block_rows=13)
+        _assert_identical(a, b)
+
+    @pytest.mark.parametrize("k", [1, 4, 12])
+    def test_integer_grid(self, k):
+        # A lattice makes split-plane bounds exactly equal true
+        # distances, exercising the non-strict pruning boundary.
+        g = np.stack(
+            np.meshgrid(np.arange(6.0), np.arange(6.0), np.arange(3.0)),
+            axis=-1,
+        ).reshape(-1, 3)
+        X = np.concatenate([g, g[::2], g[::3]])
+        tree = KDTree(X, leaf_size=5)
+        a, b = _both(tree, g, k, block_rows=11)
+        _assert_identical(a, b)
+        c, d = _both(tree, X, k, exclude_self=True)
+        _assert_identical(c, d)
+
+    def test_all_identical_points(self):
+        X = np.ones((40, 3))
+        tree = KDTree(X, leaf_size=8)
+        a, b = _both(tree, X[:10], 5)
+        _assert_identical(a, b)
+        np.testing.assert_allclose(a[0], 0.0)
+        np.testing.assert_array_equal(a[1], np.arange(5)[None, :].repeat(10, 0))
+
+
+class TestAgainstFrozenHeapReference:
+    """On tie-free data the pre-refactor heap path must match bitwise
+    (with ties its selection depended on traversal order; the canonical
+    order only fixes which equal-distance index is reported)."""
+
+    def test_query_mode(self, rng):
+        X = rng.standard_normal((800, 5))
+        Q = rng.standard_normal((120, 5))
+        tree = KDTree(X, leaf_size=24)
+        hd, hi = kdtree_query_heap(tree, Q, 9)
+        bd, bi = tree.query(Q, 9, mode="batched")
+        np.testing.assert_array_equal(bd, hd)
+        np.testing.assert_array_equal(bi, hi)
+
+    def test_exclude_self(self, rng):
+        X = rng.standard_normal((300, 4))
+        tree = KDTree(X, leaf_size=16)
+        hd, hi = kdtree_query_heap(tree, X, 11, exclude_self=True)
+        bd, bi = tree.query(X, 11, exclude_self=True, mode="batched")
+        np.testing.assert_array_equal(bd, hd)
+        np.testing.assert_array_equal(bi, hi)
+
+
+class TestAgainstBruteForce:
+    def test_distances_match(self, rng):
+        X = rng.standard_normal((500, 4))
+        Q = rng.standard_normal((80, 4))
+        tree = KDTree(X, leaf_size=16)
+        td, _ = tree.query(Q, 8, mode="batched")
+        bd, _ = brute_force_kneighbors(X, Q, 8)
+        np.testing.assert_allclose(td, bd, rtol=1e-7, atol=1e-7)

@@ -1,0 +1,154 @@
+"""Vectorised all-features split search vs the per-feature loop, bitwise.
+
+Tie-heavy integer features are the adversarial case: equal values forbid
+splits between them, stable sort order decides neighborhood layout, and
+any deviation from the reference's float summation order would move a
+threshold. The two engines must grow byte-identical trees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import best_split_all_features
+from repro.kernels.reference import best_split_loop
+from repro.supervised import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    RandomForestRegressor,
+)
+
+_TREE_ATTRS = (
+    "feature_",
+    "threshold_",
+    "children_left_",
+    "children_right_",
+    "value_",
+    "n_node_samples_",
+    "feature_importances_",
+)
+
+
+def _assert_same_tree(a, b):
+    assert a.n_nodes_ == b.n_nodes_
+    assert a.max_depth_ == b.max_depth_
+    for attr in _TREE_ATTRS:
+        np.testing.assert_array_equal(getattr(a, attr), getattr(b, attr), err_msg=attr)
+
+
+def _datasets(rng):
+    n = 400
+    yield "continuous", rng.standard_normal((n, 7)), rng.standard_normal(n)
+    yield (
+        "tie-heavy",
+        rng.integers(0, 4, size=(n, 7)).astype(float),
+        rng.standard_normal(n),
+    )
+    yield (
+        "binary-with-constant",
+        np.column_stack(
+            [rng.integers(0, 2, size=(n, 5)).astype(float), np.zeros((n, 2))]
+        ),
+        rng.standard_normal(n),
+    )
+
+
+class TestSplitFunctionParity:
+    def test_node_level_parity(self, rng):
+        for name, X, y in _datasets(rng):
+            idx = np.arange(X.shape[0])
+            feats = np.arange(X.shape[1])
+            for msl in (1, 5):
+                a = best_split_loop(X, idx, feats, y, y.sum(), min_samples_leaf=msl)
+                b = best_split_all_features(
+                    X, idx, feats, y, y.sum(), min_samples_leaf=msl
+                )
+                assert (a is None) == (b is None), (name, msl)
+                if a is not None:
+                    assert a[0] == b[0] and a[1] == b[1], (name, msl)
+                    np.testing.assert_array_equal(a[2], b[2], err_msg=name)
+                    assert a[3] == b[3]
+
+    def test_subset_node_and_feature_subset(self, rng):
+        X = rng.integers(0, 3, size=(200, 9)).astype(float)
+        y = rng.standard_normal(200)
+        idx = rng.choice(200, size=70, replace=False)
+        feats = np.array([7, 2, 5])  # unsorted candidate order matters
+        a = best_split_loop(X, idx, feats, y[idx], y[idx].sum())
+        b = best_split_all_features(X, idx, feats, y[idx], y[idx].sum())
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a[:2] == b[:2]
+            np.testing.assert_array_equal(a[2], b[2])
+
+    def test_no_valid_split(self):
+        X = np.ones((10, 3))
+        y = np.arange(10.0)
+        idx = np.arange(10)
+        feats = np.arange(3)
+        assert best_split_loop(X, idx, feats, y, y.sum()) is None
+        assert best_split_all_features(X, idx, feats, y, y.sum()) is None
+
+
+class TestFittedTreeParity:
+    @pytest.mark.parametrize("msl,mss", [(1, 2), (4, 10)])
+    def test_full_trees_identical(self, rng, msl, mss):
+        for name, X, y in _datasets(rng):
+            loop = DecisionTreeRegressor(
+                split_search="loop",
+                min_samples_leaf=msl,
+                min_samples_split=mss,
+                random_state=11,
+            ).fit(X, y)
+            vec = DecisionTreeRegressor(
+                split_search="vectorized",
+                min_samples_leaf=msl,
+                min_samples_split=mss,
+                random_state=11,
+            ).fit(X, y)
+            _assert_same_tree(loop, vec)
+
+    def test_max_features_rng_alignment(self, rng):
+        # Feature subsampling draws from the node RNG before the split
+        # search; both engines must consume it identically.
+        X = rng.integers(0, 5, size=(300, 10)).astype(float)
+        y = rng.standard_normal(300)
+        loop = DecisionTreeRegressor(
+            split_search="loop", max_features="sqrt", random_state=5
+        ).fit(X, y)
+        vec = DecisionTreeRegressor(
+            split_search="vectorized", max_features="sqrt", random_state=5
+        ).fit(X, y)
+        _assert_same_tree(loop, vec)
+
+    def test_invalid_split_search_rejected(self, rng):
+        X = rng.standard_normal((20, 2))
+        with pytest.raises(ValueError, match="split_search"):
+            DecisionTreeRegressor(split_search="fast").fit(X, X[:, 0])
+
+
+class TestEnsemblesOnTieHeavyData:
+    def test_forest_scores_bitwise(self, rng):
+        X = rng.integers(0, 4, size=(250, 6)).astype(float)
+        y = rng.standard_normal(250)
+
+        def build(engine):
+            trees = RandomForestRegressor(n_estimators=6, random_state=3)
+            # Forests construct their own trees; patch the engine through
+            # the tree default by fitting trees directly instead.
+            trees.fit(X, y)
+            return trees
+
+        # The forest always uses the vectorized engine; its per-tree
+        # reference is covered by test_full_trees_identical. Here we pin
+        # end-to-end determinism of the ensemble on tie-heavy data.
+        a = build("vectorized").predict(X)
+        b = build("vectorized").predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_gbm_deterministic_on_ties(self, rng):
+        X = rng.integers(0, 3, size=(200, 5)).astype(float)
+        y = rng.standard_normal(200)
+        a = GradientBoostingRegressor(n_estimators=10, random_state=4).fit(X, y)
+        b = GradientBoostingRegressor(n_estimators=10, random_state=4).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+        np.testing.assert_array_equal(a.train_score_, b.train_score_)

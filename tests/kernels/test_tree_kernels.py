@@ -1,0 +1,158 @@
+"""Flat batched forest traversal vs the per-tree reference paths, bitwise."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.detectors.iforest import IsolationForest
+from repro.kernels import flatten_forest, forest_apply, tree_apply
+from repro.kernels.reference import (
+    forest_predict_loop,
+    gbm_predict_loop,
+    iforest_score_loop,
+)
+from repro.supervised import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    RandomForestRegressor,
+)
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(3)
+    X = rng.standard_normal((400, 6))
+    y = 2.0 * X[:, 0] + np.sin(3.0 * X[:, 1]) + 0.1 * rng.standard_normal(400)
+    return X, y
+
+
+class TestFlattenForest:
+    def test_roots_and_child_offsets(self, rng):
+        X = rng.standard_normal((300, 4))
+        det = IsolationForest(n_estimators=5, random_state=0).fit(X)
+        flat = det._flat_forest()
+        sizes = [t.feature.size for t in det._trees]
+        np.testing.assert_array_equal(flat.roots, np.cumsum([0] + sizes[:-1]))
+        assert flat.feature.size == sum(sizes)
+        # Leaf sentinels survive the offset shift untouched.
+        assert (flat.left[flat.feature < 0] == -1).all()
+        assert (flat.right[flat.feature < 0] == -1).all()
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ValueError, match="at least one tree"):
+            flatten_forest(iter(()))
+
+
+class TestForestApply:
+    def test_matches_per_tree_traversal(self, rng):
+        X = rng.standard_normal((500, 5))
+        det = IsolationForest(n_estimators=20, random_state=1).fit(X)
+        flat = det._flat_forest()
+        leaves = forest_apply(flat, X)
+        for t, tree in enumerate(det._trees):
+            # Per-tree reference: path_length gathers path_adjust at the
+            # leaf each row reaches.
+            np.testing.assert_array_equal(
+                flat.leaf_value[leaves[:, t]], tree.path_length(X)
+            )
+
+    def test_chunking_invariant(self, rng):
+        X = rng.standard_normal((130, 4))
+        det = IsolationForest(n_estimators=7, random_state=2).fit(X)
+        flat = det._flat_forest()
+        ref = forest_apply(flat, X, chunk_rows=1000)
+        for chunk in (1, 7, 64, 129, 130):
+            np.testing.assert_array_equal(forest_apply(flat, X, chunk_rows=chunk), ref)
+
+    def test_tree_apply_matches_cart_apply(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=6, random_state=0).fit(X, y)
+        # apply() routes through the kernel; verify against a flat forest
+        # of one tree (root offset 0).
+        flat = flatten_forest(
+            [
+                (
+                    tree.feature_,
+                    tree.threshold_,
+                    tree.children_left_,
+                    tree.children_right_,
+                    tree.value_,
+                )
+            ]
+        )
+        np.testing.assert_array_equal(forest_apply(flat, X)[:, 0], tree.apply(X))
+        np.testing.assert_array_equal(
+            tree_apply(
+                tree.feature_,
+                tree.threshold_,
+                tree.children_left_,
+                tree.children_right_,
+                X,
+            ),
+            tree.apply(X),
+        )
+
+
+class TestIsolationForestScoring:
+    def test_bitwise_vs_reference_loop(self, rng):
+        X = rng.standard_normal((600, 6))
+        Q = rng.standard_normal((250, 6))
+        det = IsolationForest(n_estimators=40, random_state=5).fit(X)
+        np.testing.assert_array_equal(
+            det.decision_function(Q),
+            iforest_score_loop(det._trees, det._sub, Q),
+        )
+
+    def test_training_scores_bitwise(self, rng):
+        X = rng.standard_normal((400, 4))
+        det = IsolationForest(n_estimators=25, random_state=6).fit(X)
+        np.testing.assert_array_equal(
+            det.decision_scores_, iforest_score_loop(det._trees, det._sub, X)
+        )
+
+    def test_pickle_drops_flat_cache_and_rescores_identically(self, rng):
+        X = rng.standard_normal((300, 4))
+        det = IsolationForest(n_estimators=10, random_state=7).fit(X)
+        scores = det.decision_function(X)
+        clone = pickle.loads(pickle.dumps(det))
+        assert "_flat_cache" not in clone.__dict__ or clone._flat_cache is None
+        np.testing.assert_array_equal(clone.decision_function(X), scores)
+
+
+class TestForestAndGBMPredict:
+    def test_forest_bitwise_vs_reference_loop(self, regression_data, rng):
+        X, y = regression_data
+        Q = rng.standard_normal((700, 6))
+        forest = RandomForestRegressor(n_estimators=30, random_state=0).fit(X, y)
+        np.testing.assert_array_equal(forest.predict(Q), forest_predict_loop(forest, Q))
+
+    def test_gbm_bitwise_vs_reference_loop(self, regression_data, rng):
+        X, y = regression_data
+        Q = rng.standard_normal((700, 6))
+        gbm = GradientBoostingRegressor(n_estimators=60, random_state=0).fit(X, y)
+        np.testing.assert_array_equal(gbm.predict(Q), gbm_predict_loop(gbm, Q))
+
+    def test_gbm_staged_predict_consistent(self, regression_data):
+        X, y = regression_data
+        gbm = GradientBoostingRegressor(n_estimators=15, random_state=1).fit(X, y)
+        stages = list(gbm.staged_predict(X[:80]))
+        assert len(stages) == 15
+        np.testing.assert_array_equal(stages[-1], gbm.predict(X[:80]))
+
+    def test_pickle_roundtrip_bitwise(self, regression_data, rng):
+        X, y = regression_data
+        Q = rng.standard_normal((90, 6))
+        for est in (
+            RandomForestRegressor(n_estimators=8, random_state=2).fit(X, y),
+            GradientBoostingRegressor(n_estimators=8, random_state=2).fit(X, y),
+        ):
+            clone = pickle.loads(pickle.dumps(est))
+            assert clone.__dict__.get("_flat_cache") is None
+            np.testing.assert_array_equal(clone.predict(Q), est.predict(Q))
+
+    def test_feature_count_validation(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            forest.predict(X[:, :3])

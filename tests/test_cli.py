@@ -189,3 +189,72 @@ class TestSchedulersCommand:
     def test_schedulers_listed(self, capsys):
         assert main(["list"]) == 0
         assert "Scheduler registry" in capsys.readouterr().out
+
+
+class TestKernelsCommand:
+    _fast = [
+        "--repeats",
+        "1",
+        "--n-index",
+        "400",
+        "--n-query",
+        "80",
+        "--trees",
+        "8",
+        "--serve-batch",
+        "30",
+        "--serve-batches",
+        "2",
+    ]
+
+    def test_table_output_and_exit_code(self, capsys):
+        assert main(["kernels", *self._fast]) == 0
+        out = capsys.readouterr().out
+        assert "Compute kernels" in out
+        assert "knn_query" in out and "iforest_scoring" in out
+        assert "bitwise-identical: True" in out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(["kernels", "--json", "-", *self._fast]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"meta", "rows"}
+        assert payload["meta"]["all_identical"] is True
+        kernels = {r["kernel"] for r in payload["rows"]}
+        assert {
+            "knn_query",
+            "lof_scores",
+            "iforest_scoring",
+            "forest_predict",
+            "gbm_predict",
+            "tree_fit_split_search",
+            "abod_angle_variance",
+        } == kernels
+
+    def test_parity_failure_exits_nonzero(self, monkeypatch):
+        def broken(cfg, **kwargs):
+            rows = [
+                {
+                    "kernel": "knn_query",
+                    "reference_s": 1.0,
+                    "vectorized_s": 0.5,
+                    "speedup": 2.0,
+                    "identical": False,
+                }
+            ]
+            meta = {
+                "config": "broken",
+                "all_identical": False,
+                "knn_query_speedup": 2.0,
+                "iforest_speedup": 2.0,
+                "serve_batch": 64,
+            }
+            return rows, meta
+
+        monkeypatch.setattr("repro.bench.runners.run_kernel_benchmarks", broken)
+        assert main(["kernels"]) == 1
+
+    def test_kernels_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "Compute-kernel microbenchmarks" in capsys.readouterr().out

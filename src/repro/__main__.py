@@ -11,6 +11,7 @@ Usage::
     python -m repro scaling [--quick] [--json out.json]
     python -m repro schedulers [--quick] [--json out.json]
     python -m repro kernels [--quick] [--json out.json]
+    python -m repro analyze [paths ...] [--rule RULE] [--json out.json]
 
 ``plan`` is not an experiment: it compiles a SUOD fit/predict pass into
 its :class:`~repro.pipeline.ExecutionPlan` and prints the stages, the
@@ -36,6 +37,11 @@ output is committed as ``BENCH_pr4.json`` and uploaded by CI.
 search, per-query ABOD angles) and verifies the outputs bitwise. Exits
 non-zero if any kernel's parity check fails — the gate CI bench-smoke
 enforces. Its JSON output is committed as ``BENCH_pr5.json``.
+
+``analyze`` runs the :mod:`repro.analysis` static checkers over the
+source tree (bitwise-parity hazards, shm lifecycle, payload
+concurrency, repo contracts, frozen-reference pin) and exits non-zero
+on any new finding — the blocking CI ``analyze`` job.
 
 Experiments honour the same REPRO_* environment variables as the
 benchmark suite; CLI flags override them.
@@ -586,6 +592,10 @@ def main(argv=None) -> int:
         return run_schedulers_command(argv[1:])
     if argv and argv[0] == "kernels":
         return run_kernels_command(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.analysis.cli import run_analyze_command
+
+        return run_analyze_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -626,6 +636,10 @@ def main(argv=None) -> int:
         print(
             f"{'kernels':14s} Compute-kernel microbenchmarks + parity gate "
             "(python -m repro kernels --help)"
+        )
+        print(
+            f"{'analyze':14s} Static invariant checks (parity/lifecycle/"
+            "concurrency) (python -m repro analyze --help)"
         )
         return 0
 

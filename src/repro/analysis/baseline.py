@@ -1,0 +1,83 @@
+"""Baseline suppression file for pre-existing findings.
+
+The CI gate fails on *new* findings only: a baseline file
+(``.repro-analyze-baseline.json`` at the analysis root) lists findings
+that predate the gate, keyed by ``(rule, path, stripped source line
+text)`` rather than line number, so unrelated edits that shift lines do
+not invalidate entries. Matching is a multiset: two identical baseline
+entries absorb at most two identical findings. Entries that match
+nothing are reported as stale so the baseline shrinks monotonically —
+it is a ratchet, not a dumping ground.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "baseline_key"]
+
+
+def baseline_key(finding: Finding, line_text: str) -> tuple[str, str, str]:
+    """Stable identity for a finding: rule, file, and the code itself."""
+    return (finding.rule, finding.path, line_text.strip())
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted pre-existing findings."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = Counter(
+            (e["rule"], e["path"], e["line_text"]) for e in data.get("findings", [])
+        )
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, pairs) -> "Baseline":
+        """Build from ``(finding, line_text)`` pairs (``--update-baseline``)."""
+        return cls(entries=Counter(baseline_key(f, t) for f, t in pairs))
+
+    def dump(self, path: Path) -> None:
+        findings = [
+            {"rule": rule, "path": rel, "line_text": text}
+            for (rule, rel, text), count in sorted(self.entries.items())
+            for _ in range(count)
+        ]
+        path.write_text(
+            json.dumps({"version": 1, "findings": findings}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    def filter(self, pairs):
+        """Split ``(finding, line_text)`` pairs into (new, suppressed).
+
+        Consumes baseline entries as they match, so N identical entries
+        absorb at most N identical findings; leftover entries are
+        reported by :meth:`stale`.
+        """
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding, line_text in pairs:
+            key = baseline_key(finding, line_text)
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        self._leftover = remaining
+        return new, suppressed
+
+    def stale(self) -> list[tuple[str, str, str]]:
+        """Baseline entries that matched no finding in the last filter()."""
+        leftover = getattr(self, "_leftover", Counter())
+        return sorted(key for key, count in leftover.items() if count > 0)

@@ -1,0 +1,26 @@
+"""Built-in checkers, registered on import under their canonical names."""
+
+from repro.analysis.checkers.concurrency import ConcurrencyChecker
+from repro.analysis.checkers.contracts import ContractsChecker
+from repro.analysis.checkers.freeze import ReferenceFreezeChecker
+from repro.analysis.checkers.lifecycle import LifecycleChecker
+from repro.analysis.checkers.parity import ParityChecker
+from repro.analysis.registry import register_checker
+
+__all__ = [
+    "ParityChecker",
+    "ConcurrencyChecker",
+    "LifecycleChecker",
+    "ContractsChecker",
+    "ReferenceFreezeChecker",
+]
+
+for _cls in (
+    ParityChecker,
+    ConcurrencyChecker,
+    LifecycleChecker,
+    ContractsChecker,
+    ReferenceFreezeChecker,
+):
+    register_checker(_cls.name, _cls)
+del _cls

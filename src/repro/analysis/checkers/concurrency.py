@@ -1,0 +1,222 @@
+"""Concurrency hazard checker.
+
+Task payloads in this codebase run in worker processes or threads
+(``pool.submit``, ``functools.partial`` payloads handed to the
+execution plane, ``threading.Thread`` targets). The only sanctioned
+channel for results is the return value (wrapped in
+``ExecutionResult`` by the backends): a payload that *mutates* shared
+state instead — a module-level dict, a list captured from the enclosing
+scope, an argument it was handed — works under ``serial``, races under
+``threads``, and silently no-ops under ``processes`` (the mutation
+lands in the worker's copy). Both shapes are flagged:
+
+``shared-state-mutation``
+    A payload function stores to / mutates a module-level name.
+
+``payload-arg-mutation``
+    A payload function mutates one of its parameters in place
+    (``arg[k] = v``, ``arg += ...``, ``arg.append(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import FileContext, call_name
+from repro.analysis.findings import Finding, RuleSpec
+
+__all__ = ["ConcurrencyChecker"]
+
+# Methods that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "fill",
+    }
+)
+
+
+def _payload_names(tree: ast.AST) -> dict[str, ast.Call]:
+    """Function names used as task payloads, mapped to the dispatch site.
+
+    A function counts as a payload when its bare name is the first
+    positional argument of ``functools.partial(...)`` / ``partial(...)``
+    or ``<pool>.submit(...)``, or the ``target=`` keyword of
+    ``threading.Thread(...)`` / ``Thread(...)`` /
+    ``multiprocessing.Process(...)``.
+    """
+    payloads: dict[str, ast.Call] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        candidate: ast.AST | None = None
+        if name in ("partial", "functools.partial") and node.args:
+            candidate = node.args[0]
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and node.args
+        ):
+            candidate = node.args[0]
+        elif name in (
+            "Thread",
+            "threading.Thread",
+            "Process",
+            "multiprocessing.Process",
+        ):
+            candidate = next(
+                (kw.value for kw in node.keywords if kw.arg == "target"), None
+            )
+        if isinstance(candidate, ast.Name):
+            payloads.setdefault(candidate.id, node)
+    return payloads
+
+
+def _module_level_names(tree: ast.AST) -> set[str]:
+    """Names bound by assignment at module scope (mutable shared state)."""
+    names: set[str] = set()
+    for stmt in getattr(tree, "body", []):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            names.add(stmt.target.id)
+    return names
+
+
+class ConcurrencyChecker:
+    """Flags task payloads that mutate state outside the result channel."""
+
+    name = "concurrency"
+    description = (
+        "task payloads mutating shared or caller state instead of "
+        "returning results through the ExecutionResult channel"
+    )
+    rules = (
+        RuleSpec(
+            "shared-state-mutation",
+            "task payload mutates module-level shared state",
+        ),
+        RuleSpec(
+            "payload-arg-mutation",
+            "task payload mutates one of its arguments in place",
+        ),
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        payloads = _payload_names(ctx.tree)
+        if not payloads:
+            return []
+        shared = _module_level_names(ctx.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in payloads
+            ):
+                self._check_payload(ctx, node, shared, findings)
+        return findings
+
+    def _check_payload(self, ctx, func, shared: set[str], findings: list):
+        params = {a.arg for a in func.args.args + func.args.kwonlyargs}
+        params.discard("self")
+        locals_: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        locals_.add(t.id)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    findings.append(
+                        ctx.finding(
+                            self.rules[0],
+                            node,
+                            f"payload {func.name!r} declares 'global "
+                            f"{name}': the rebind races under the thread "
+                            "backend and is lost under the process "
+                            "backend (workers mutate their own copy)",
+                            hint="return the value and let the caller "
+                            "collect it from the ExecutionResult",
+                            checker=self.name,
+                        )
+                    )
+            root = self._mutation_root(node)
+            if root is None:
+                continue
+            if root in shared and root not in locals_ and root not in params:
+                findings.append(
+                    ctx.finding(
+                        self.rules[0],
+                        node,
+                        f"payload {func.name!r} mutates module-level "
+                        f"{root!r}: shared-state writes race under the "
+                        "thread backend and silently vanish under the "
+                        "process backend",
+                        hint="return the value through the "
+                        "ExecutionResult channel instead",
+                        checker=self.name,
+                    )
+                )
+            elif root in params:
+                findings.append(
+                    ctx.finding(
+                        self.rules[1],
+                        node,
+                        f"payload {func.name!r} mutates its argument "
+                        f"{root!r} in place: under the process backend "
+                        "the caller's object is never updated (the "
+                        "worker mutates a pickle copy)",
+                        hint="build and return a new value instead of "
+                        "mutating the argument",
+                        checker=self.name,
+                    )
+                )
+
+    @staticmethod
+    def _mutation_root(node: ast.AST) -> str | None:
+        """Name whose object ``node`` mutates in place, if any."""
+        target: ast.AST | None = None
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, (ast.Subscript, ast.Attribute)):
+                    target = t
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, (ast.Subscript, ast.Attribute)
+        ):
+            target = node.target
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+        ):
+            target = node.func
+        if target is None:
+            return None
+        while isinstance(target, (ast.Subscript, ast.Attribute)):
+            target = target.value
+        if isinstance(target, ast.Name):
+            return target.id
+        return None

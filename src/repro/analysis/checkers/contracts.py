@@ -1,0 +1,220 @@
+"""Repo-contract and determinism checker.
+
+Codifies conventions the repo adopted in earlier PRs but until now
+enforced only by review:
+
+``deprecated-shim-import``
+    ``repro.core.scheduling`` and ``repro.core.cost`` are
+    deprecation shims (PR 4 moved the real code to
+    ``repro.scheduling``); new imports must target the new package so
+    the shims can eventually be deleted.
+
+``registry-overwrite``
+    ``register_backend(..., overwrite=True)`` (and the scheduler /
+    checker equivalents) silently replaces a built-in; legitimate only
+    in tests, so any occurrence in ``src/`` is flagged.
+
+``unseeded-random``
+    Calls into the legacy ``np.random.*`` global generator (or a
+    zero-argument ``np.random.default_rng()``) draw from hidden global
+    state, breaking run-to-run reproducibility; everything must route
+    through ``check_random_state`` / an explicitly seeded Generator.
+    Inside ``repro/kernels/`` wall-clock reads (``time.time`` etc.) are
+    flagged too — kernel results must be pure functions of their
+    inputs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import FileContext, call_name
+from repro.analysis.findings import Finding, RuleSpec
+
+__all__ = ["ContractsChecker"]
+
+_SHIM_MODULES = ("repro.core.scheduling", "repro.core.cost")
+_SHIM_FILES = ("repro/core/scheduling.py", "repro/core/cost.py")
+
+_REGISTER_FNS = frozenset(
+    {"register_backend", "register_scheduler", "register_checker"}
+)
+
+# Legacy global-state RNG entry points (np.random.<fn> module calls).
+_GLOBAL_RNG_FNS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "beta",
+        "binomial",
+        "exponential",
+        "poisson",
+    }
+)
+
+_CLOCK_FNS = frozenset(
+    {
+        "time.time",
+        "time.monotonic",
+        "time.perf_counter",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+_KERNEL_PATH = "repro/kernels/"
+
+
+class ContractsChecker:
+    """Enforces repo API contracts and determinism conventions."""
+
+    name = "contracts"
+    description = (
+        "repo contracts: no deprecated shim imports, no silent registry "
+        "overwrites, no hidden-global randomness or kernel clock reads"
+    )
+    rules = (
+        RuleSpec(
+            "deprecated-shim-import",
+            "import of a repro.core.{scheduling,cost} deprecation shim",
+        ),
+        RuleSpec(
+            "registry-overwrite",
+            "registry overwrite=True outside tests",
+        ),
+        RuleSpec(
+            "unseeded-random",
+            "hidden-global RNG or kernel wall-clock read",
+        ),
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        is_shim = any(ctx.rel_path.endswith(f) for f in _SHIM_FILES)
+        in_kernels = ctx.in_path(_KERNEL_PATH)
+        for node in ast.walk(ctx.tree):
+            if not is_shim:
+                self._check_shim_import(ctx, node, findings)
+            if isinstance(node, ast.Call):
+                self._check_overwrite(ctx, node, findings)
+                self._check_random(ctx, node, in_kernels, findings)
+        return findings
+
+    # -- deprecated-shim-import ----------------------------------------
+    def _check_shim_import(self, ctx, node, findings: list) -> None:
+        module = None
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _SHIM_MODULES or any(
+                    alias.name.startswith(m + ".") for m in _SHIM_MODULES
+                ):
+                    module = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module in _SHIM_MODULES or any(
+                node.module.startswith(m + ".") for m in _SHIM_MODULES
+            ):
+                module = node.module
+            elif node.module == "repro.core" and any(
+                alias.name in ("scheduling", "cost") for alias in node.names
+            ):
+                module = "repro.core"
+        if module is None:
+            return
+        findings.append(
+            ctx.finding(
+                self.rules[0],
+                node,
+                f"import from deprecated shim {module!r}: the real "
+                "implementation moved to repro.scheduling in PR 4 and "
+                "the shim only survives for downstream pickles",
+                hint="import from repro.scheduling instead",
+                checker=self.name,
+            )
+        )
+
+    # -- registry-overwrite --------------------------------------------
+    def _check_overwrite(self, ctx, node: ast.Call, findings: list) -> None:
+        name = call_name(node)
+        if name is None or name.split(".")[-1] not in _REGISTER_FNS:
+            return
+        for kw in node.keywords:
+            if (
+                kw.arg == "overwrite"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                findings.append(
+                    ctx.finding(
+                        self.rules[1],
+                        node,
+                        f"{name}(..., overwrite=True) silently replaces "
+                        "a registered implementation; outside tests this "
+                        "shadows a built-in for every later caller",
+                        hint="register under a new name, or justify with "
+                        "# repro: allow[registry-overwrite] -- why",
+                        checker=self.name,
+                    )
+                )
+
+    # -- unseeded-random ------------------------------------------------
+    def _check_random(self, ctx, node: ast.Call, in_kernels, findings) -> None:
+        name = call_name(node)
+        if name is None:
+            return
+        parts = name.split(".")
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in _GLOBAL_RNG_FNS
+        ):
+            findings.append(
+                ctx.finding(
+                    self.rules[2],
+                    node,
+                    f"{name}() draws from the hidden global NumPy RNG: "
+                    "results change between runs and across import "
+                    "orders, breaking score reproducibility",
+                    hint="thread a seeded Generator through "
+                    "check_random_state(random_state)",
+                    checker=self.name,
+                )
+            )
+            return
+        if name.endswith("default_rng") and not node.args and not node.keywords:
+            findings.append(
+                ctx.finding(
+                    self.rules[2],
+                    node,
+                    "default_rng() with no seed draws OS entropy: every "
+                    "run produces different results",
+                    hint="pass an explicit seed or a seeded SeedSequence",
+                    checker=self.name,
+                )
+            )
+            return
+        if in_kernels and name in _CLOCK_FNS:
+            findings.append(
+                ctx.finding(
+                    self.rules[2],
+                    node,
+                    f"{name}() inside repro/kernels/: kernel outputs "
+                    "must be pure functions of their inputs, never of "
+                    "wall-clock time",
+                    hint="hoist timing to the caller (bench layer)",
+                    checker=self.name,
+                )
+            )

@@ -1,0 +1,166 @@
+"""Shared-memory lifecycle checker.
+
+A ``SharedMemoryArena`` owns POSIX shared-memory segments; a lost
+``dispose()`` leaks ``/dev/shm`` blocks until reboot. Within one
+function, every arena constructed must provably reach disposal on all
+paths. Accepted ownership shapes:
+
+- ``with SharedMemoryArena() as arena:`` — the context manager
+  disposes;
+- ``try: ... finally: arena.dispose()`` — explicit all-paths disposal;
+- ownership transfer: the arena is assigned to an attribute or
+  container slot (``ctx.arena = SharedMemoryArena()``), returned,
+  yielded, or passed to another callable — the receiver inherits the
+  obligation (the PlanRunner pattern).
+
+A plain local assignment whose ``dispose()`` only happens in straight
+line code is flagged too: any exception between creation and disposal
+leaks the segments, so the call must sit in a ``finally``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import FileContext, call_name
+from repro.analysis.findings import Finding, RuleSpec
+
+__all__ = ["LifecycleChecker"]
+
+_ARENA_NAMES = ("SharedMemoryArena",)
+
+
+def _is_arena_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node)
+    return name is not None and name.split(".")[-1] in _ARENA_NAMES
+
+
+class LifecycleChecker:
+    """Every ``SharedMemoryArena()`` must reach ``dispose()`` on all paths."""
+
+    name = "lifecycle"
+    description = (
+        "SharedMemoryArena creations that cannot be proven to reach "
+        "dispose() on all paths (shm segment leak)"
+    )
+    rules = (
+        RuleSpec(
+            "arena-dispose",
+            "SharedMemoryArena not disposed on all paths",
+        ),
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not _is_arena_call(node):
+                continue
+            parent = getattr(node, "parent", None)
+            if self._ownership_transferred(node, parent):
+                continue
+            if isinstance(parent, ast.Assign) and all(
+                isinstance(t, ast.Name) for t in parent.targets
+            ):
+                name = parent.targets[0].id
+                scope = self._enclosing_function(parent)
+                status = self._disposal_status(scope, name)
+                if status == "finally":
+                    continue
+                if status == "inline":
+                    findings.append(
+                        ctx.finding(
+                            self.rules[0],
+                            node,
+                            f"arena {name!r} is disposed, but not in a "
+                            "'finally' block: any exception between "
+                            "creation and dispose() leaks the shared-"
+                            "memory segments until reboot",
+                            hint="move the dispose() into try/finally, or "
+                            "use 'with SharedMemoryArena() as ...:'",
+                            checker=self.name,
+                        )
+                    )
+                else:
+                    findings.append(
+                        ctx.finding(
+                            self.rules[0],
+                            node,
+                            f"arena {name!r} is created but never "
+                            "disposed in this scope: the /dev/shm "
+                            "segments it allocates leak until reboot",
+                            hint="use 'with SharedMemoryArena() as ...:' "
+                            "or dispose() in a finally block",
+                            checker=self.name,
+                        )
+                    )
+            elif isinstance(parent, ast.Expr):
+                findings.append(
+                    ctx.finding(
+                        self.rules[0],
+                        node,
+                        "SharedMemoryArena() created and immediately "
+                        "dropped: nothing holds a handle to dispose, so "
+                        "its segments leak",
+                        hint="bind it in a 'with' statement or keep a "
+                        "reference that reaches dispose()",
+                        checker=self.name,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _ownership_transferred(node: ast.Call, parent) -> bool:
+        """Shapes where disposal responsibility moves elsewhere."""
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, (ast.Return, ast.Yield)):
+            return True
+        if isinstance(parent, ast.Call):
+            return True  # passed as an argument — receiver owns it
+        if isinstance(parent, ast.Assign):
+            # ctx.arena = SharedMemoryArena()   (attribute/slot target:
+            # the holder object inherits the disposal obligation)
+            return any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in parent.targets
+            )
+        if isinstance(parent, (ast.Dict, ast.List, ast.Tuple, ast.Set)):
+            return True
+        return False
+
+    @staticmethod
+    def _enclosing_function(node: ast.AST) -> ast.AST:
+        while node is not None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+            node = getattr(node, "parent", None)
+        return None
+
+    @staticmethod
+    def _disposal_status(scope, name: str) -> str:
+        """``'finally'`` | ``'inline'`` | ``'missing'`` for ``name``."""
+        if scope is None:
+            return "missing"
+        status = "missing"
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        if LifecycleChecker._is_dispose(sub, name):
+                            return "finally"
+        for node in ast.walk(scope):
+            if LifecycleChecker._is_dispose(node, name):
+                status = "inline"
+        return status
+
+    @staticmethod
+    def _is_dispose(node: ast.AST, name: str) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("dispose", "close", "unlink")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        )

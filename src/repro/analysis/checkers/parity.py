@@ -1,0 +1,587 @@
+"""Bitwise-parity hazard checker.
+
+The system's core guarantee is that refactors keep scores *bitwise*
+identical. Three things silently break that guarantee, and all three
+have bitten (or nearly bitten) this codebase:
+
+``contiguous-reduction``
+    NumPy reductions (``sum``/``var``/``mean``/... with or without an
+    ``axis``) choose their pairwise-summation order from the operand's
+    *memory layout*, so the same values in Fortran order can reduce to
+    a different float than in C order — the exact hazard PR 5 hit with
+    ``var(axis=1)`` on an einsum output. Inside ``repro/kernels/`` the
+    rule is strict: a reduced array must be *provably* C-contiguous
+    (constructed by a C-order constructor, advanced indexing, a ufunc
+    with at least one C-proven operand, or an explicit
+    ``np.ascontiguousarray``). Elsewhere only known-bad provenance
+    (einsum results, transposes, ``order='F'``) is flagged.
+
+``asarray-order``
+    The input boundary (``repro/utils/validation.py``) must pin
+    ``order='C'`` when converting user arrays: ``np.asarray`` preserves
+    the caller's layout, which would leak memory order into every
+    downstream scoring reduction.
+
+``unordered-accumulation``
+    Accumulating floats while iterating a ``set`` or raw ``dict`` view
+    makes the accumulation order an artifact of hashing/insertion
+    history instead of the data.
+
+``float-equality``
+    ``==``/``!=`` against float constants in scoring paths is almost
+    always a rounding bug; the deliberate exact-sentinel cases carry an
+    ``allow`` pragma with their justification.
+
+The provenance tracker is a per-function, assignment-order pass — no
+CFG, no interprocedural flow. It is deliberately biased: a value is
+only PROVEN when the layout guarantee is real, and only HAZARD when the
+layout damage is real; everything else is UNKNOWN (flagged only under
+kernel strictness). The frozen reference implementations
+(``repro/kernels/reference.py``) are exempt — they *define* the
+summation order the kernels must reproduce.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import FileContext, call_name, dotted_name
+from repro.analysis.findings import Finding, RuleSpec
+
+__all__ = ["ParityChecker"]
+
+# Reduction callables whose float result depends on summation order.
+_REDUCTIONS = frozenset(
+    {
+        "sum",
+        "mean",
+        "var",
+        "std",
+        "prod",
+        "cumsum",
+        "cumprod",
+        "nansum",
+        "nanmean",
+        "nanvar",
+        "nanstd",
+        "trace",
+        "dot",
+    }
+)
+
+# Constructors that always hand back C-contiguous arrays.
+_C_CONSTRUCTORS = frozenset(
+    {
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "arange",
+        "linspace",
+        "eye",
+        "identity",
+        "concatenate",
+        "stack",
+        "vstack",
+        "hstack",
+        "column_stack",
+        "tile",
+        "repeat",
+        "ascontiguousarray",
+        "take",
+        "take_along_axis",
+        "compress",
+        "sort",
+        "meshgrid",
+        "diff",
+        "bincount",
+        "triu_indices",
+        "tril_indices",
+    }
+)
+
+# Elementwise/ufunc-style callables: the result is C-contiguous unless
+# *every* array operand is Fortran-ordered, so provenance combines as
+# "any PROVEN -> PROVEN, else any HAZARD -> HAZARD, else UNKNOWN".
+_UFUNC_LIKE = frozenset(
+    {
+        "sqrt",
+        "abs",
+        "absolute",
+        "exp",
+        "log",
+        "log1p",
+        "expm1",
+        "square",
+        "sign",
+        "maximum",
+        "minimum",
+        "where",
+        "clip",
+        "add",
+        "subtract",
+        "multiply",
+        "divide",
+        "power",
+        "tanh",
+        "isfinite",
+        "isnan",
+        "nan_to_num",
+        "copy",
+        "asarray",
+        "cumsum",
+        "cumprod",
+    }
+)
+
+# Calls whose results may be Fortran-ordered (or that exist to produce
+# non-C layouts): the source of the PR 5 bitwise hazard.
+_HAZARD_CALLS = frozenset({"einsum", "asfortranarray"})
+
+_PROVEN, _UNKNOWN, _HAZARD, _NEUTRAL = "proven", "unknown", "hazard", "neutral"
+
+_KERNEL_PATH = "repro/kernels/"
+_REFERENCE_PATH = "repro/kernels/reference.py"
+_BOUNDARY_PATH = "repro/utils/validation.py"
+# Modules whose results are user-facing scores: exact float comparison
+# here is parity-relevant (elsewhere it is ordinary code review fodder).
+_SCORING_PATHS = (
+    "repro/detectors/",
+    "repro/kernels/",
+    "repro/combination/",
+    "repro/supervised/",
+    "repro/neighbors/",
+    "repro/cluster/",
+)
+
+
+def _np_callee(node: ast.Call) -> str | None:
+    """``'einsum'`` for ``np.einsum(...)`` / ``numpy.einsum(...)``."""
+    name = call_name(node)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) == 2 and parts[0] in ("np", "numpy"):
+        return parts[1]
+    return None
+
+
+def _is_basic_index(index: ast.AST) -> bool:
+    """True when subscripting with ``index`` returns a *view*.
+
+    A lone slice (``a[i:j]``) or a tuple made purely of slices is basic
+    indexing; anything else (names, arrays, index expressions) is
+    treated as advanced indexing, which copies into a fresh C array.
+    """
+    if isinstance(index, ast.Slice):
+        return True
+    if isinstance(index, ast.Tuple):
+        return all(
+            isinstance(elt, (ast.Slice, ast.Constant)) for elt in index.elts
+        )
+    if isinstance(index, ast.Constant):
+        return True
+    return False
+
+
+def _combine(states: list[str]) -> str:
+    arrays = [s for s in states if s != _NEUTRAL]
+    if not arrays:
+        return _NEUTRAL
+    if _PROVEN in arrays:
+        return _PROVEN
+    if _HAZARD in arrays:
+        return _HAZARD
+    return _UNKNOWN
+
+
+class _Provenance:
+    """Assignment-order layout tracking for one function body."""
+
+    def __init__(self):
+        self.env: dict[str, str] = {}
+
+    def state_of(self, node: ast.AST) -> str:
+        if isinstance(node, ast.Constant):
+            return _NEUTRAL
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, _UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            if node.attr == "T":
+                return _HAZARD
+            return _UNKNOWN
+        if isinstance(node, ast.UnaryOp):
+            return self.state_of(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.MatMult):
+                return _PROVEN  # matmul allocates a C-ordered result
+            return _combine([self.state_of(node.left), self.state_of(node.right)])
+        if isinstance(node, ast.Compare):
+            return _combine(
+                [self.state_of(node.left)]
+                + [self.state_of(c) for c in node.comparators]
+            )
+        if isinstance(node, ast.IfExp):
+            return _combine([self.state_of(node.body), self.state_of(node.orelse)])
+        if isinstance(node, ast.Subscript):
+            if _is_basic_index(node.slice):
+                # A view: a bare row slice of a C array stays C, but a
+                # tuple of slices generally does not — only a lone
+                # slice preserves the proof.
+                base = self.state_of(node.value)
+                if isinstance(node.slice, ast.Slice):
+                    return base
+                return _HAZARD if base == _HAZARD else _UNKNOWN
+            return _PROVEN  # advanced indexing copies into C order
+        if isinstance(node, ast.Call):
+            return self._call_state(node)
+        return _UNKNOWN
+
+    def _call_state(self, node: ast.Call) -> str:
+        np_fn = _np_callee(node)
+        if np_fn is not None:
+            for kw in node.keywords:
+                if kw.arg == "order" and isinstance(kw.value, ast.Constant):
+                    if kw.value.value == "F":
+                        return _HAZARD
+                    if kw.value.value == "C":
+                        return _PROVEN
+            if np_fn in _HAZARD_CALLS:
+                return _HAZARD
+            if np_fn in ("transpose", "swapaxes", "moveaxis"):
+                return _HAZARD
+            if np_fn in _C_CONSTRUCTORS:
+                return _PROVEN
+            if np_fn in _UFUNC_LIKE:
+                return _combine([self.state_of(a) for a in node.args])
+            return _UNKNOWN
+        # Method calls on arrays.
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in ("transpose", "swapaxes"):
+                return _HAZARD
+            if attr == "copy":
+                return _PROVEN  # ndarray.copy() defaults to order='C'
+            if attr in ("reshape", "astype", "ravel", "flatten", "clip"):
+                return self.state_of(node.func.value)
+            if attr in _REDUCTIONS:
+                return _PROVEN  # reduction outputs are freshly allocated
+        return _UNKNOWN
+
+    def assign(self, target: ast.AST, state: str) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = state
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.assign(elt, _UNKNOWN)
+
+
+def _iter_functions(tree: ast.AST):
+    """Yield (function node, body) plus the module itself as a scope."""
+    yield None, tree.body  # module scope
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _walk_in_scope(node: ast.AST):
+    """Pre-order walk that does not descend into nested function scopes.
+
+    Each function body is its own provenance scope (yielded separately
+    by :func:`_iter_functions`); descending here too would visit — and
+    report — every nested node twice.
+    """
+    yield node
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return  # a nested function is a separate scope
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_in_scope(child)
+
+
+def _unordered_iterable(node: ast.AST, set_names: set[str]) -> str | None:
+    """Describe ``node`` if iterating it has no stable order."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ("set", "frozenset"):
+            return f"{name}()"
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "keys",
+            "values",
+            "items",
+        ):
+            return f"dict .{node.func.attr}()"
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return f"the set {node.id!r}"
+    return None
+
+
+def _float_const(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _float_const(node.operand)
+    name = dotted_name(node)
+    return name in ("np.inf", "np.nan", "numpy.inf", "numpy.nan", "math.inf")
+
+
+def _nan_const(node: ast.AST) -> bool:
+    return dotted_name(node) in ("np.nan", "numpy.nan", "math.nan")
+
+
+class ParityChecker:
+    """Flags constructs that can silently break bitwise score parity."""
+
+    name = "parity"
+    description = (
+        "bitwise-parity hazards: layout-dependent reductions, unordered "
+        "float accumulation, float equality, un-pinned input layout"
+    )
+    rules = (
+        RuleSpec(
+            "contiguous-reduction",
+            "reduction over an array not proven C-contiguous",
+        ),
+        RuleSpec(
+            "asarray-order",
+            "input-boundary conversion without order='C'",
+        ),
+        RuleSpec(
+            "unordered-accumulation",
+            "float accumulation fed from set/dict iteration order",
+        ),
+        RuleSpec(
+            "float-equality",
+            "== / != against a float constant in a scoring path",
+        ),
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.rel_path.endswith(_REFERENCE_PATH):
+            return []  # the frozen reference defines the summation order
+        findings: list[Finding] = []
+        strict = ctx.in_path(_KERNEL_PATH)
+        self._check_reductions(ctx, strict, findings)
+        if ctx.rel_path.endswith(_BOUNDARY_PATH):
+            self._check_boundary(ctx, findings)
+        self._check_unordered(ctx, findings)
+        if any(ctx.in_path(p) for p in _SCORING_PATHS):
+            self._check_float_eq(ctx, findings)
+        return findings
+
+    # -- contiguous-reduction ------------------------------------------
+    def _check_reductions(self, ctx, strict: bool, findings: list) -> None:
+        rule = self.rules[0]
+        for func, body in _iter_functions(ctx.tree):
+            prov = _Provenance()
+            if func is not None:
+                for arg in list(func.args.args) + list(func.args.kwonlyargs):
+                    prov.env[arg.arg] = _UNKNOWN
+            self._walk_scope(ctx, body, prov, strict, rule, findings)
+
+    def _walk_scope(self, ctx, body, prov, strict, rule, findings) -> None:
+        for stmt in body:
+            for node in _walk_in_scope(stmt):
+                if isinstance(node, ast.Assign):
+                    state = prov.state_of(node.value)
+                    for target in node.targets:
+                        prov.assign(target, state)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    prov.assign(node.target, prov.state_of(node.value))
+                elif isinstance(node, ast.Call):
+                    self._check_one_reduction(
+                        ctx, node, prov, strict, rule, findings
+                    )
+
+    def _check_one_reduction(self, ctx, node, prov, strict, rule, findings):
+        operand = None
+        label = None
+        np_fn = _np_callee(node)
+        if np_fn in _REDUCTIONS and node.args:
+            operand, label = node.args[0], f"np.{np_fn}"
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _REDUCTIONS
+            and not isinstance(node.func.value, ast.Constant)
+        ):
+            operand, label = node.func.value, f".{node.func.attr}()"
+        if operand is None:
+            return
+        state = prov.state_of(operand)
+        if state == _HAZARD:
+            findings.append(
+                ctx.finding(
+                    rule,
+                    node,
+                    f"{label} reduces an array whose layout is known to be "
+                    "non-C (einsum output, transpose, or order='F'): the "
+                    "pairwise summation order — and the float result — "
+                    "depends on memory layout",
+                    hint="wrap the operand in np.ascontiguousarray(...) "
+                    "before reducing (the PR 5 var(axis=1) fix)",
+                    checker=self.name,
+                )
+            )
+        elif strict and state != _PROVEN:
+            findings.append(
+                ctx.finding(
+                    rule,
+                    node,
+                    f"{label} inside repro/kernels/ reduces an array not "
+                    "proven C-contiguous; kernel reductions must pin their "
+                    "summation order to stay bitwise-identical to the "
+                    "frozen reference",
+                    hint="construct the operand with a C-order constructor "
+                    "or np.ascontiguousarray(...), or justify with "
+                    "# repro: allow[contiguous-reduction] -- why",
+                    severity="warning",
+                    checker=self.name,
+                )
+            )
+
+    # -- asarray-order --------------------------------------------------
+    def _check_boundary(self, ctx, findings: list) -> None:
+        rule = self.rules[1]
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _np_callee(node) not in ("asarray", "array"):
+                continue
+            order = next(
+                (
+                    kw.value.value
+                    for kw in node.keywords
+                    if kw.arg == "order"
+                    and isinstance(kw.value, ast.Constant)
+                ),
+                None,
+            )
+            if order == "C":
+                continue
+            findings.append(
+                ctx.finding(
+                    rule,
+                    node,
+                    "input-boundary array conversion must pin order='C': "
+                    "np.asarray preserves the caller's memory layout, so a "
+                    "Fortran-ordered X would make every downstream axis "
+                    "reduction bitwise-different from the same values in C "
+                    "order",
+                    hint="pass order='C' (copies only when the input is "
+                    "not already C-contiguous)",
+                    checker=self.name,
+                )
+            )
+
+    # -- unordered-accumulation ----------------------------------------
+    def _check_unordered(self, ctx, findings: list) -> None:
+        rule = self.rules[2]
+        for func, body in _iter_functions(ctx.tree):
+            set_names: set[str] = set()
+            for stmt in body:
+                for node in _walk_in_scope(stmt):
+                    if isinstance(node, ast.Assign) and isinstance(
+                        node.value, (ast.Set, ast.SetComp)
+                    ):
+                        for t in node.targets:
+                            if isinstance(t, ast.Name):
+                                set_names.add(t.id)
+                    elif (
+                        isinstance(node, ast.Assign)
+                        and isinstance(node.value, ast.Call)
+                        and call_name(node.value) in ("set", "frozenset")
+                    ):
+                        for t in node.targets:
+                            if isinstance(t, ast.Name):
+                                set_names.add(t.id)
+            for stmt in body:
+                for node in _walk_in_scope(stmt):
+                    self._check_unordered_node(
+                        ctx, node, set_names, rule, findings
+                    )
+
+    def _check_unordered_node(self, ctx, node, set_names, rule, findings):
+        # sum(...) / math.fsum(...) over an unordered iterable.
+        if isinstance(node, ast.Call) and call_name(node) in ("sum", "math.fsum"):
+            for arg in node.args[:1]:
+                it = arg
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                    it = arg.generators[0].iter
+                desc = _unordered_iterable(it, set_names)
+                if desc:
+                    findings.append(
+                        ctx.finding(
+                            rule,
+                            node,
+                            f"sum() over {desc}: float accumulation order "
+                            "follows hash/insertion order instead of the "
+                            "data, so equal inputs can produce "
+                            "bitwise-different totals",
+                            hint="iterate sorted(...) (or justify integer "
+                            "accumulation with a pragma)",
+                            checker=self.name,
+                        )
+                    )
+        # for x in <unordered>: ... acc += ...
+        if isinstance(node, ast.For):
+            it = node.iter
+            if isinstance(it, ast.Call) and call_name(it) == "sorted":
+                return
+            desc = _unordered_iterable(it, set_names)
+            if desc is None:
+                return
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.AugAssign) and isinstance(
+                    sub.op, (ast.Add, ast.Sub, ast.Mult)
+                ):
+                    findings.append(
+                        ctx.finding(
+                            rule,
+                            node,
+                            f"loop over {desc} accumulates with "
+                            "augmented assignment: the accumulation order "
+                            "follows hash/insertion order instead of the "
+                            "data",
+                            hint="iterate sorted(...) before accumulating",
+                            checker=self.name,
+                        )
+                    )
+                    return
+
+    # -- float-equality -------------------------------------------------
+    def _check_float_eq(self, ctx, findings: list) -> None:
+        rule = self.rules[3]
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(_nan_const(o) for o in operands):
+                findings.append(
+                    ctx.finding(
+                        rule,
+                        node,
+                        "comparison with NaN via ==/!= is always "
+                        "False/True; use np.isnan",
+                        hint="np.isnan(x)",
+                        checker=self.name,
+                    )
+                )
+                continue
+            if any(_float_const(o) for o in operands):
+                findings.append(
+                    ctx.finding(
+                        rule,
+                        node,
+                        "exact ==/!= against a float constant in a scoring "
+                        "path: rounding makes exact comparison fragile "
+                        "unless the value is produced exactly by "
+                        "construction",
+                        hint="compare with a tolerance, or justify the "
+                        "exact sentinel with # repro: allow[float-equality]"
+                        " -- why",
+                        checker=self.name,
+                    )
+                )

@@ -1,0 +1,193 @@
+"""``python -m repro analyze`` — the static-analysis CLI and CI gate.
+
+Exit status is the contract: 0 when the tree is clean (after pragmas
+and baseline), 1 when any new finding or parse error remains — so the
+CI job is just the command itself. ``--json`` writes the full report
+for the artifact upload; ``--rule`` narrows to specific rules;
+``--update-baseline`` accepts the current findings as the new baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import repro.analysis.checkers  # noqa: F401  (registers built-ins)
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import analyze_paths
+from repro.analysis.registry import all_rules, get_checker, list_checkers
+
+__all__ = ["run_analyze_command", "build_parser", "DEFAULT_BASELINE"]
+
+DEFAULT_BASELINE = ".repro-analyze-baseline.json"
+DEFAULT_PATHS = ("src/repro",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "AST-based invariant checks: bitwise-parity hazards, shm "
+            "lifecycle, payload concurrency, repo contracts, and the "
+            "frozen-reference pin. Exits non-zero on any new finding."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to analyse (default: {DEFAULT_PATHS[0]})",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="restrict to RULE (repeatable); default is every rule",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the full JSON report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline suppression file (default: {DEFAULT_BASELINE} "
+        "at the analysis root, when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=".",
+        help="root that finding paths are reported relative to",
+    )
+    return parser
+
+
+def _print_rule_catalogue(out) -> None:
+    catalogue = all_rules()
+    print("rules:", file=out)
+    for rule_id, (checker_name, spec) in sorted(catalogue.items()):
+        print(
+            f"  {rule_id:24s} [{checker_name}] {spec.summary}", file=out
+        )
+    print("\ncheckers:", file=out)
+    for name in list_checkers():
+        print(f"  {name:24s} {get_checker(name).description}", file=out)
+
+
+def _render_table(report, out) -> None:
+    if not report.findings and not report.parse_errors:
+        extras = []
+        if report.suppressed:
+            extras.append(f"{len(report.suppressed)} pragma-suppressed")
+        if report.baselined:
+            extras.append(f"{len(report.baselined)} baselined")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        print(
+            f"analyze: {report.files_scanned} files clean{suffix}", file=out
+        )
+        return
+    width = max(
+        (len(f.location) for f in report.findings), default=0
+    )
+    for finding in report.findings:
+        tag = f"{finding.severity}[{finding.rule}]"
+        print(f"{finding.location:<{width}}  {tag}", file=out)
+        print(f"{'':<{width}}  {finding.message}", file=out)
+        if finding.hint:
+            print(f"{'':<{width}}  fix: {finding.hint}", file=out)
+    for path, error in report.parse_errors:
+        print(f"{path}  parse-error: {error}", file=out)
+    n = len(report.findings)
+    print(
+        f"\nanalyze: {n} finding{'s' if n != 1 else ''} in "
+        f"{report.files_scanned} files",
+        file=out,
+    )
+
+
+def run_analyze_command(argv=None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rule_catalogue(out)
+        return 0
+
+    root = Path(args.root).resolve()
+    baseline = None
+    baseline_path = None
+    if not args.no_baseline:
+        baseline_path = (
+            Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+        )
+        if baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+        elif args.baseline and not args.update_baseline:
+            print(f"analyze: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+
+    try:
+        report = analyze_paths(
+            args.paths,
+            root=root,
+            rules=args.rules,
+            baseline=None if args.update_baseline else baseline,
+        )
+    except ValueError as exc:  # unknown --rule
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = baseline_path or root / DEFAULT_BASELINE
+        pairs = []
+        for finding in report.findings:
+            file_path = root / finding.path
+            text = ""
+            if file_path.exists():
+                lines = file_path.read_text(encoding="utf-8").splitlines()
+                if 0 < finding.line <= len(lines):
+                    text = lines[finding.line - 1]
+            pairs.append((finding, text))
+        Baseline.from_findings(pairs).dump(target)
+        print(
+            f"analyze: baselined {len(report.findings)} findings to "
+            f"{target}",
+            file=out,
+        )
+        return 0
+
+    if args.json:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload, file=out)
+        else:
+            Path(args.json).write_text(payload + "\n", encoding="utf-8")
+    if args.json != "-":
+        _render_table(report, out)
+    for key in report.stale_baseline:
+        print(
+            f"analyze: stale baseline entry {key!r} matched nothing — "
+            "remove it",
+            file=sys.stderr,
+        )
+    return report.exit_code

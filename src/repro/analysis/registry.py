@@ -1,0 +1,95 @@
+"""Named checker registry (the backend/scheduler registry contract).
+
+One lookup point for analysis checkers, so the engine, the ``repro
+analyze`` CLI, and third-party rule packs resolve names identically:
+
+- duplicate-name registration is rejected unless ``overwrite=True``
+  (re-registering the *same* class is a no-op);
+- unknown names raise with the sorted list of registered checkers;
+- :func:`all_rules` flattens the registered checkers' rule catalogues
+  and rejects two checkers claiming the same rule id.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import RuleSpec
+
+__all__ = [
+    "register_checker",
+    "get_checker",
+    "get_checker_class",
+    "list_checkers",
+    "all_rules",
+    "resolve_rules",
+]
+
+_CHECKERS: dict[str, type] = {}
+
+
+def register_checker(name: str, cls, *, overwrite: bool = False) -> None:
+    """Add a checker class to the :func:`get_checker` registry.
+
+    Re-registering the same class under its existing name is a no-op;
+    replacing a registered name with a *different* class requires
+    ``overwrite=True``, so a built-in checker cannot be shadowed
+    silently — the same contract as ``register_backend`` and
+    ``register_scheduler``.
+    """
+    existing = _CHECKERS.get(name)
+    if existing is not None and existing is not cls and not overwrite:
+        raise ValueError(
+            f"checker {name!r} is already registered to "
+            f"{existing.__name__}; pass overwrite=True to replace it"
+        )
+    _CHECKERS[name] = cls
+
+
+def get_checker_class(name: str) -> type:
+    """The registered class for ``name`` (without instantiating it)."""
+    if name not in _CHECKERS:
+        raise ValueError(f"Unknown checker {name!r}; choose from {sorted(_CHECKERS)}")
+    return _CHECKERS[name]
+
+
+def get_checker(name: str, **kwargs):
+    """Instantiate a checker by registered name."""
+    return get_checker_class(name)(**kwargs)
+
+
+def list_checkers() -> list[str]:
+    """Sorted names of all registered checkers."""
+    return sorted(_CHECKERS)
+
+
+def all_rules() -> dict[str, tuple[str, RuleSpec]]:
+    """``rule id -> (checker name, RuleSpec)`` over registered checkers."""
+    catalogue: dict[str, tuple[str, RuleSpec]] = {}
+    for name in list_checkers():
+        for spec in _CHECKERS[name].rules:
+            if spec.id in catalogue:
+                other = catalogue[spec.id][0]
+                raise ValueError(
+                    f"rule id {spec.id!r} is claimed by both "
+                    f"{other!r} and {name!r}"
+                )
+            catalogue[spec.id] = (name, spec)
+    return catalogue
+
+
+def resolve_rules(rules) -> frozenset[str]:
+    """Validate a ``--rule`` selection against the registered catalogue.
+
+    ``None`` selects every rule. Unknown ids raise with the sorted list
+    of available rules, mirroring the unknown-name contract of the
+    backend/scheduler registries.
+    """
+    catalogue = all_rules()
+    if rules is None:
+        return frozenset(catalogue)
+    selected = frozenset(rules)
+    unknown = sorted(selected - set(catalogue))
+    if unknown:
+        raise ValueError(
+            f"Unknown rule(s) {unknown}; choose from {sorted(catalogue)}"
+        )
+    return selected

@@ -25,6 +25,7 @@ def _kmeans_plusplus(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndar
     closest_sq = pairwise_distances(X, centers[:1], metric="sqeuclidean").ravel()
     for c in range(1, k):
         total = closest_sq.sum()
+        # repro: allow[float-equality] -- sum of squared distances is exactly 0.0 iff every point coincides with a center
         if total == 0.0:  # all points coincide with chosen centers
             centers[c:] = X[rng.integers(n, size=k - c)]
             break

@@ -46,7 +46,7 @@ def zscore_standardise(scores, *, ref: np.ndarray | None = None) -> np.ndarray:
         raise ValueError("ref must have the same number of models as scores")
     mu = R.mean(axis=1, keepdims=True)
     sd = R.std(axis=1, keepdims=True)
-    sd[sd == 0.0] = 1.0
+    sd[sd == 0.0] = 1.0  # repro: allow[float-equality] -- np.std of a constant row is exactly 0.0; degenerate-column guard
     return (S - mu) / sd
 
 

@@ -64,6 +64,7 @@ def best_split_all_features(
     # over features; a column with no valid split carries -inf and can
     # only "win" when every column is -inf, i.e. no split exists.
     j = int(np.argmax(col_best))
+    # repro: allow[float-equality] -- -inf is an exact sentinel assigned by construction, never computed
     if col_best[j] == -np.inf:
         return None
     return int(feats[j]), int(pos[j]), order[:, j], float(col_best[j])

@@ -87,6 +87,7 @@ class KDTree:
             block = X[idx]
             spreads = block.max(axis=0) - block.min(axis=0)
             dim = int(np.argmax(spreads))
+            # repro: allow[float-equality] -- max-min of identical coordinates is exactly 0.0; duplicate-point leaf test
             if spreads[dim] == 0.0:  # all duplicate points: keep as leaf
                 return node
             mid = (hi - lo) // 2

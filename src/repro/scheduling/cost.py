@@ -280,6 +280,7 @@ class TelemetryRefinedCostModel:
 
     @property
     def total_observations(self) -> int:
+        # repro: allow[unordered-accumulation] -- integer counts: addition order cannot change the total
         return int(sum(self._n_obs.values()))
 
     def has_observations(self, keys) -> bool:

@@ -52,6 +52,7 @@ class KNeighborsRegressor:
         targets = self._y[idx]
         if self.weights == "uniform":
             return targets.mean(axis=1)
+        # repro: allow[float-equality] -- exact-duplicate detection: a zero distance is computed exactly for identical rows
         exact = dist[:, 0] == 0.0
         with np.errstate(divide="ignore"):
             w = 1.0 / dist
@@ -64,6 +65,7 @@ class KNeighborsRegressor:
         if exact.any():
             # Average over the zero-distance matches only.
             for i in np.nonzero(exact)[0]:
+                # repro: allow[float-equality] -- same exact-duplicate test as above, per row
                 zero = dist[i] == 0.0
                 out[i] = targets[i][zero].mean()
         return out

@@ -24,6 +24,7 @@ def check_random_state(random_state) -> np.random.Generator:
     ``Generator`` (returned as-is), or a legacy ``RandomState`` (wrapped).
     """
     if random_state is None:
+        # repro: allow[unseeded-random] -- random_state=None means "fresh OS entropy" by API contract; determinism is opted into via a seed
         return np.random.default_rng()
     if isinstance(random_state, numbers.Integral):
         return np.random.default_rng(int(random_state))

@@ -58,7 +58,17 @@ def check_array(
     ndarray
         Validated array.
     """
-    arr = np.array(X, dtype=dtype, copy=copy) if copy else np.asarray(X, dtype=dtype)
+    # order="C" pins the memory layout at the input boundary: NumPy's
+    # pairwise summation order follows layout, so letting a caller's
+    # Fortran-ordered X through would make every downstream axis
+    # reduction (var, mean, einsum paths) bitwise-different from the
+    # same values in C order. asarray with order="C" copies only when
+    # the input is not already C-contiguous.
+    arr = (
+        np.array(X, dtype=dtype, copy=copy, order="C")
+        if copy
+        else np.asarray(X, dtype=dtype, order="C")
+    )
 
     if arr.ndim == 0:
         raise ValueError(f"{name} must be array-like, got a scalar: {X!r}")
@@ -132,7 +142,7 @@ class NotFittedError(ValueError, AttributeError):
 
 def column_or_1d(y, *, name: str = "y") -> np.ndarray:
     """Ravel a column vector or 1-D array; reject anything wider."""
-    y = np.asarray(y)
+    y = np.asarray(y, order="C")
     if y.ndim == 1:
         return y
     if y.ndim == 2 and y.shape[1] == 1:

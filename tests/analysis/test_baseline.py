@@ -1,0 +1,111 @@
+"""Baseline file: multiset matching keyed on code text, not line numbers."""
+
+import json
+import textwrap
+
+from repro.analysis import Baseline, analyze_paths
+from repro.analysis.baseline import baseline_key
+from repro.analysis.findings import Finding
+
+BAD = textwrap.dedent(
+    """
+    def f(x):
+        return x == 0.5
+    """
+)
+
+
+def _write_fixture(tmp_path, body=BAD):
+    pkg = tmp_path / "src" / "repro" / "detectors"
+    pkg.mkdir(parents=True)
+    target = pkg / "fixture.py"
+    target.write_text(body, encoding="utf-8")
+    return target
+
+
+def test_baseline_suppresses_known_finding(tmp_path):
+    target = _write_fixture(tmp_path)
+    report = analyze_paths([target], root=tmp_path, rules=["float-equality"])
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+
+    baseline = Baseline.from_findings([(finding, "return x == 0.5")])
+    report2 = analyze_paths(
+        [target], root=tmp_path, rules=["float-equality"], baseline=baseline
+    )
+    assert report2.findings == []
+    assert len(report2.baselined) == 1
+    assert report2.exit_code == 0
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    target = _write_fixture(tmp_path)
+    report = analyze_paths([target], root=tmp_path, rules=["float-equality"])
+    baseline = Baseline.from_findings([(report.findings[0], "return x == 0.5")])
+
+    # Unrelated lines above shift the finding; the baseline still holds.
+    target.write_text("import math\n\n" + BAD, encoding="utf-8")
+    report2 = analyze_paths(
+        [target], root=tmp_path, rules=["float-equality"], baseline=baseline
+    )
+    assert report2.findings == []
+
+
+def test_baseline_is_a_multiset(tmp_path):
+    body = textwrap.dedent(
+        """
+        def f(x):
+            return x == 0.5
+
+        def g(x):
+            return x == 0.5
+        """
+    )
+    target = _write_fixture(tmp_path, body)
+    report = analyze_paths([target], root=tmp_path, rules=["float-equality"])
+    assert len(report.findings) == 2
+
+    # One baseline entry absorbs only one of the two identical findings.
+    one = Baseline.from_findings([(report.findings[0], "return x == 0.5")])
+    report2 = analyze_paths(
+        [target], root=tmp_path, rules=["float-equality"], baseline=one
+    )
+    assert len(report2.findings) == 1
+    assert len(report2.baselined) == 1
+
+
+def test_stale_baseline_entries_reported(tmp_path):
+    target = _write_fixture(tmp_path, "def f(x):\n    return x > 0.5\n")
+    ghost = Finding(
+        rule="float-equality",
+        path="src/repro/detectors/fixture.py",
+        line=2,
+        message="gone",
+    )
+    baseline = Baseline.from_findings([(ghost, "return x == 0.5")])
+    report = analyze_paths(
+        [target], root=tmp_path, rules=["float-equality"], baseline=baseline
+    )
+    assert report.findings == []
+    assert report.stale_baseline == [
+        ("float-equality", "src/repro/detectors/fixture.py", "return x == 0.5")
+    ]
+
+
+def test_dump_and_load_round_trip(tmp_path):
+    finding = Finding(
+        rule="float-equality", path="a.py", line=3, message="m"
+    )
+    baseline = Baseline.from_findings([(finding, "  x == 0.5  ")])
+    path = tmp_path / "baseline.json"
+    baseline.dump(path)
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+    assert data["findings"][0]["line_text"] == "x == 0.5"
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+
+
+def test_baseline_key_strips_whitespace():
+    finding = Finding(rule="r", path="p.py", line=1, message="m")
+    assert baseline_key(finding, "   code here  ") == ("r", "p.py", "code here")

@@ -1,0 +1,90 @@
+"""Contracts checker: shim imports, registry overwrites, determinism."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+PATH = "src/repro/pipeline/fixture.py"
+KERNEL = "src/repro/kernels/fixture.py"
+
+
+def run(source, rel_path=PATH, rule=None):
+    rules = [rule] if rule else None
+    return analyze_source(textwrap.dedent(source), rel_path, rules=rules)
+
+
+def test_shim_import_flagged():
+    for stmt in (
+        "import repro.core.scheduling",
+        "from repro.core.scheduling import compile_schedule",
+        "from repro.core import cost",
+        "from repro.core.cost import CostModel",
+    ):
+        found = run(stmt, rule="deprecated-shim-import")
+        assert [f.rule for f in found] == ["deprecated-shim-import"], stmt
+        assert "repro.scheduling" in found[0].hint
+
+
+def test_new_package_import_clean():
+    good = """
+    from repro.scheduling import compile_schedule
+    from repro.core import BaseDetector
+    """
+    assert run(good, rule="deprecated-shim-import") == []
+
+
+def test_shim_files_themselves_are_exempt():
+    source = "from repro.core.scheduling import compile_schedule"
+    assert (
+        run(source, "src/repro/core/scheduling.py", "deprecated-shim-import")
+        == []
+    )
+
+
+def test_registry_overwrite_flagged():
+    bad = """
+    from repro.parallel.execution import register_backend
+
+    register_backend("serial", object, overwrite=True)
+    """
+    found = run(bad, rule="registry-overwrite")
+    assert [f.rule for f in found] == ["registry-overwrite"]
+
+
+def test_registry_without_overwrite_clean():
+    good = """
+    from repro.parallel.execution import register_backend
+
+    register_backend("mine", object)
+    """
+    assert run(good, rule="registry-overwrite") == []
+
+
+def test_global_numpy_rng_flagged():
+    bad = """
+    import numpy as np
+
+    def f(n):
+        return np.random.rand(n)
+    """
+    found = run(bad, rule="unseeded-random")
+    assert [f.rule for f in found] == ["unseeded-random"]
+    assert "check_random_state" in found[0].hint
+
+
+def test_unseeded_default_rng_flagged_seeded_clean():
+    bad = "import numpy as np\nrng = np.random.default_rng()\n"
+    good = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    assert len(run(bad, rule="unseeded-random")) == 1
+    assert run(good, rule="unseeded-random") == []
+
+
+def test_clock_reads_flagged_only_in_kernels():
+    source = """
+    import time
+
+    def f():
+        return time.perf_counter()
+    """
+    assert len(run(source, KERNEL, "unseeded-random")) == 1
+    assert run(source, PATH, "unseeded-random") == []

@@ -1,0 +1,55 @@
+"""Regression: Fortran-ordered input must score bitwise like C-ordered.
+
+The analyzer's ``asarray-order`` rule flagged a real pre-existing bug:
+``check_array`` converted with ``np.asarray(X, dtype=...)`` and no
+``order=``, which *preserves* the caller's memory layout. NumPy's
+pairwise summation walks memory, so reductions over a Fortran-ordered
+X (``X.mean(axis=0)``, the ``gamma='scale'`` variance in OCSVM) produce
+bitwise-different floats than over the same values in C order — scores
+silently depended on how the caller happened to build their array.
+``check_array`` now pins ``order='C'`` at the input boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detectors.ocsvm import OCSVM
+from repro.utils.validation import check_array
+
+
+@pytest.fixture
+def pair():
+    rng = np.random.default_rng(7)
+    Xc = np.ascontiguousarray(rng.normal(size=(160, 6)))
+    return Xc, np.asfortranarray(Xc)
+
+
+def test_check_array_pins_c_order(pair):
+    Xc, Xf = pair
+    assert not Xf.flags.c_contiguous  # the fixture really is F-ordered
+    out = check_array(Xf)
+    assert out.flags.c_contiguous
+    assert np.array_equal(out, Xc)
+
+
+def test_check_array_still_zero_copy_for_c_input(pair):
+    Xc, _ = pair
+    assert check_array(Xc, copy=False) is Xc
+
+
+def test_ocsvm_scores_bitwise_identical_across_layouts(pair):
+    # Pre-fix this failed: the gamma='scale' variance and the mean
+    # reductions inside OCSVM reduce in layout order, so F input gave
+    # bitwise-different scores. The boundary now pins C order.
+    Xc, Xf = pair
+    scores_c = OCSVM(random_state=0).fit(Xc).decision_function(Xc)
+    scores_f = OCSVM(random_state=0).fit(Xf).decision_function(Xf)
+    assert np.array_equal(scores_c, scores_f)
+
+
+def test_mean_reduction_depends_on_layout():
+    # Documents *why* the boundary pin matters: the hazard itself.
+    rng = np.random.default_rng(11)
+    Xc = np.ascontiguousarray(rng.normal(size=(400, 32)))
+    Xf = np.asfortranarray(Xc)
+    assert not np.array_equal(Xc.mean(axis=0), Xf.mean(axis=0))

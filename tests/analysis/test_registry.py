@@ -1,0 +1,103 @@
+"""Checker registry: same contract as the backend/scheduler registries."""
+
+import pytest
+
+from repro.analysis import (
+    all_rules,
+    get_checker,
+    get_checker_class,
+    list_checkers,
+    register_checker,
+    resolve_rules,
+)
+from repro.analysis.findings import RuleSpec
+from repro.analysis.registry import _CHECKERS
+
+
+class _FakeChecker:
+    name = "fake"
+    description = "test double"
+    rules = (RuleSpec("fake-rule", "a rule"),)
+
+    def check(self, ctx):
+        return []
+
+
+class _OtherChecker(_FakeChecker):
+    pass
+
+
+@pytest.fixture
+def clean_registry():
+    saved = dict(_CHECKERS)
+    yield
+    _CHECKERS.clear()
+    _CHECKERS.update(saved)
+
+
+def test_builtins_registered():
+    assert set(list_checkers()) >= {
+        "parity",
+        "concurrency",
+        "lifecycle",
+        "contracts",
+        "reference-freeze",
+    }
+
+
+def test_register_and_get(clean_registry):
+    register_checker("fake", _FakeChecker)
+    assert get_checker_class("fake") is _FakeChecker
+    assert isinstance(get_checker("fake"), _FakeChecker)
+    assert "fake" in list_checkers()
+
+
+def test_same_class_reregister_is_noop(clean_registry):
+    register_checker("fake", _FakeChecker)
+    register_checker("fake", _FakeChecker)  # no raise
+    assert get_checker_class("fake") is _FakeChecker
+
+
+def test_duplicate_name_rejected_without_overwrite(clean_registry):
+    register_checker("fake", _FakeChecker)
+    with pytest.raises(ValueError, match="overwrite=True"):
+        register_checker("fake", _OtherChecker)
+    register_checker("fake", _OtherChecker, overwrite=True)
+    assert get_checker_class("fake") is _OtherChecker
+
+
+def test_unknown_name_lists_available():
+    with pytest.raises(ValueError, match="choose from"):
+        get_checker_class("nope")
+
+
+def test_all_rules_maps_rule_to_checker():
+    catalogue = all_rules()
+    assert catalogue["contiguous-reduction"][0] == "parity"
+    assert catalogue["arena-dispose"][0] == "lifecycle"
+    assert catalogue["frozen-reference"][0] == "reference-freeze"
+    for rule_id, (_, spec) in catalogue.items():
+        assert spec.id == rule_id
+
+
+def test_duplicate_rule_id_rejected(clean_registry):
+    class Clash:
+        name = "clash"
+        description = "claims an existing rule id"
+        rules = (RuleSpec("contiguous-reduction", "mine now"),)
+
+        def check(self, ctx):
+            return []
+
+    register_checker("clash", Clash)
+    with pytest.raises(ValueError, match="claimed by both"):
+        all_rules()
+
+
+def test_resolve_rules_none_selects_everything():
+    assert resolve_rules(None) == frozenset(all_rules())
+
+
+def test_resolve_rules_unknown_raises_with_catalogue():
+    with pytest.raises(ValueError, match="Unknown rule"):
+        resolve_rules(["contiguous-reduction", "not-a-rule"])

@@ -1,0 +1,77 @@
+"""Engine mechanics: file walking, parse errors, and the per-file cache."""
+
+import textwrap
+
+from repro.analysis import AnalysisCache, analyze_paths
+from repro.analysis.engine import iter_python_files
+
+BAD = textwrap.dedent(
+    """
+    def f(x):
+        return x == 0.5
+    """
+)
+
+
+def _fixture_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "detectors"
+    pkg.mkdir(parents=True)
+    (pkg / "fixture.py").write_text(BAD, encoding="utf-8")
+    (pkg / "clean.py").write_text("x = 1\n", encoding="utf-8")
+    cache_dir = pkg / "__pycache__"
+    cache_dir.mkdir()
+    (cache_dir / "skipme.py").write_text("syntax error here(", encoding="utf-8")
+    (pkg / "notes.txt").write_text("not python", encoding="utf-8")
+    return tmp_path
+
+
+def test_walker_skips_caches_and_non_python(tmp_path):
+    root = _fixture_tree(tmp_path)
+    names = [p.name for p in iter_python_files([root])]
+    assert names == ["clean.py", "fixture.py"]
+
+
+def test_walker_deduplicates_overlapping_roots(tmp_path):
+    root = _fixture_tree(tmp_path)
+    pkg = root / "src" / "repro" / "detectors"
+    names = [p.name for p in iter_python_files([root, pkg / "fixture.py"])]
+    assert names.count("fixture.py") == 1
+
+
+def test_parse_errors_reported_and_fail_the_gate(tmp_path):
+    root = _fixture_tree(tmp_path)
+    broken = root / "src" / "repro" / "detectors" / "broken.py"
+    broken.write_text("def f(:\n", encoding="utf-8")
+    report = analyze_paths([root], root=root)
+    assert len(report.parse_errors) == 1
+    assert report.parse_errors[0][0] == "src/repro/detectors/broken.py"
+    assert report.exit_code == 1
+
+
+def test_cache_hits_on_unchanged_files(tmp_path):
+    root = _fixture_tree(tmp_path)
+    cache = AnalysisCache()
+    first = analyze_paths([root], root=root, cache=cache)
+    assert cache.misses == 2 and cache.hits == 0
+    second = analyze_paths([root], root=root, cache=cache)
+    assert cache.hits == 2
+    assert [f.sort_key() for f in second.findings] == [
+        f.sort_key() for f in first.findings
+    ]
+
+
+def test_cache_invalidated_by_edit_and_rule_selection(tmp_path):
+    root = _fixture_tree(tmp_path)
+    target = root / "src" / "repro" / "detectors" / "fixture.py"
+    cache = AnalysisCache()
+    analyze_paths([root], root=root, cache=cache)
+
+    # Different rule selection: same bytes, different key.
+    analyze_paths([root], root=root, cache=cache, rules=["float-equality"])
+    assert cache.misses == 4
+
+    # Content edit: the fixed file re-analyses and the finding clears.
+    target.write_text("def f(x):\n    return x > 0.5\n", encoding="utf-8")
+    report = analyze_paths([root], root=root, cache=cache)
+    assert report.findings == []
+    assert cache.hits == 1  # clean.py unchanged

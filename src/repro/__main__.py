@@ -11,6 +11,7 @@ Usage::
     python -m repro scaling [--quick] [--json out.json]
     python -m repro schedulers [--quick] [--json out.json]
     python -m repro kernels [--quick] [--json out.json]
+    python -m repro memory [--quick] [--json out.json]
     python -m repro analyze [paths ...] [--rule RULE] [--json out.json]
 
 ``plan`` is not an experiment: it compiles a SUOD fit/predict pass into
@@ -37,6 +38,15 @@ output is committed as ``BENCH_pr4.json`` and uploaded by CI.
 search, per-query ABOD angles) and verifies the outputs bitwise. Exits
 non-zero if any kernel's parity check fails — the gate CI bench-smoke
 enforces. Its JSON output is committed as ``BENCH_pr5.json``.
+
+``memory`` benchmarks the memory plane: fresh worker processes
+cold-start the same fitted ensemble from its memmap-served arena
+artifact and from the inline rebuild baseline, comparing time-to-first-
+score and per-process resident-set growth, and gates on the parity
+contract (memmap and out-of-core scores bitwise-identical to in-RAM
+float64; float32 serving within its pinned tolerance). Exits non-zero
+if any parity check fails. Its JSON output is committed as
+``BENCH_pr7.json`` and uploaded by CI bench-smoke.
 
 ``analyze`` runs the :mod:`repro.analysis` static checkers over the
 source tree (bitwise-parity hazards, shm lifecycle, payload
@@ -567,6 +577,134 @@ def run_kernels_command(argv=None) -> int:
     return 0 if meta["all_identical"] else 1
 
 
+def run_memory_command(argv=None) -> int:
+    """``python -m repro memory``: memory-plane cold-start benchmark."""
+    from repro.bench.runners import run_memory_benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro memory",
+        description=(
+            "Benchmark memmap-served arena artifacts against the inline "
+            "rebuild baseline: fresh spawn-context workers cold-start "
+            "the same fitted ensemble from each artifact and report "
+            "load wall, time-to-first-score, and resident-set growth. "
+            "Also gates the memory-plane parity contract: memmap, "
+            "multi-worker, and out-of-core scores must be bitwise-"
+            "identical to in-RAM float64, and float32 serving must stay "
+            "inside its pinned tolerance. Exits non-zero on any parity "
+            "failure; the JSON rows are the format of BENCH_pr7.json "
+            "and of the CI bench-smoke artifact."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: smaller pool and training set, 2 repeats",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="write rows + meta as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="concurrent cold-start workers"
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--n-train", type=int, default=None)
+    parser.add_argument("--forests", type=int, default=None, help="iForests in pool")
+    parser.add_argument("--trees", type=int, default=None, help="trees per forest")
+    parser.add_argument(
+        "--first-rows", type=int, default=None, help="rows in the first request"
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="keep the saved artifacts in this directory instead of a tempdir",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    kwargs = {"seed": args.seed}
+    if args.quick:
+        kwargs.update(
+            n_train=3000,
+            n_test=1500,
+            n_forests=2,
+            n_trees=60,
+            forest_subsample=1024,
+            repeats=2,
+        )
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    if args.n_train is not None:
+        kwargs["n_train"] = args.n_train
+    if args.forests is not None:
+        kwargs["n_forests"] = args.forests
+    if args.trees is not None:
+        kwargs["n_trees"] = args.trees
+    if args.first_rows is not None:
+        kwargs["first_rows"] = args.first_rows
+    if args.artifact_dir is not None:
+        kwargs["artifact_dir"] = args.artifact_dir
+
+    t0 = time.perf_counter()
+    rows, meta = run_memory_benchmark(get_config(), **kwargs)
+    elapsed = time.perf_counter() - t0
+
+    payload = {"meta": meta, "rows": rows}
+    if args.json_path == "-":
+        _emit_json(payload, "-")
+    else:
+        print(meta["config"])
+        shown = [
+            {
+                **row,
+                "artifact_mb": round(row["artifact_bytes"] / 1e6, 1),
+                "rss_delta_mb": round(row["serving_rss_delta_bytes"] / 1e6, 1),
+            }
+            for row in rows
+        ]
+        print(
+            format_table(
+                shown,
+                columns=[
+                    "mode",
+                    "workers",
+                    "load_s",
+                    "first_score_s",
+                    "cold_total_s",
+                    "artifact_mb",
+                    "rss_delta_mb",
+                    "identical",
+                ],
+                title="\nMemory plane — memmap arenas vs inline rebuild",
+            )
+        )
+        print(
+            f"\ncold start: {meta['cold_start_speedup']:.2f}x faster via memmap "
+            f"({meta['arena_count']} arenas, "
+            f"{meta['arena_bytes'] / 1e6:.1f} MB served in place); "
+            f"serving RSS growth {meta['serving_rss_delta_ratio']:.2f}x lower"
+        )
+        print(
+            f"float32 serving: max |diff| = {meta['float32_max_abs_diff']:.2e} "
+            f"(tolerance {meta['float32_tolerance']}), "
+            f"restore bitwise = {meta['float32_restore_bitwise']}"
+        )
+        print(
+            "parity (memmap/workers/out-of-core bitwise, float32 in-tolerance): "
+            f"{meta['parity_ok']}"
+        )
+        print(f"[memory done in {elapsed:.1f}s]")
+    if args.json_path and args.json_path != "-":
+        _emit_json(payload, args.json_path)
+    return 0 if meta["parity_ok"] else 1
+
+
 def _print_experiment(name: str, cfg) -> None:
     runner, title = EXPERIMENTS[name]
     print(f"\n=== {title} ===")
@@ -592,6 +730,8 @@ def main(argv=None) -> int:
         return run_schedulers_command(argv[1:])
     if argv and argv[0] == "kernels":
         return run_kernels_command(argv[1:])
+    if argv and argv[0] == "memory":
+        return run_memory_command(argv[1:])
     if argv and argv[0] == "analyze":
         from repro.analysis.cli import run_analyze_command
 
@@ -636,6 +776,10 @@ def main(argv=None) -> int:
         print(
             f"{'kernels':14s} Compute-kernel microbenchmarks + parity gate "
             "(python -m repro kernels --help)"
+        )
+        print(
+            f"{'memory':14s} Memory-plane benchmark + parity gate "
+            "(python -m repro memory --help)"
         )
         print(
             f"{'analyze':14s} Static invariant checks (parity/lifecycle/"

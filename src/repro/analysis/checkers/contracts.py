@@ -22,6 +22,14 @@ enforced only by review:
     Inside ``repro/kernels/`` wall-clock reads (``time.time`` etc.) are
     flagged too — kernel results must be pure functions of their
     inputs.
+
+``memmap-mode``
+    ``np.memmap`` (and ``open_memmap`` / ``np.load(..., mmap_mode=...)``)
+    without an explicit read-only mode: the numpy default is ``'r+'``,
+    a *writable* mapping of the artifact file. A stray in-place store
+    through such a view silently corrupts the persisted ensemble for
+    every process sharing the page-cache copy, so the memory plane
+    requires ``mode='r'`` spelled out at every mapping site.
 """
 
 from __future__ import annotations
@@ -84,7 +92,8 @@ class ContractsChecker:
     name = "contracts"
     description = (
         "repo contracts: no deprecated shim imports, no silent registry "
-        "overwrites, no hidden-global randomness or kernel clock reads"
+        "overwrites, no hidden-global randomness or kernel clock reads, "
+        "no writable memory mappings of artifacts"
     )
     rules = (
         RuleSpec(
@@ -99,6 +108,10 @@ class ContractsChecker:
             "unseeded-random",
             "hidden-global RNG or kernel wall-clock read",
         ),
+        RuleSpec(
+            "memmap-mode",
+            "memory mapping without an explicit read-only mode",
+        ),
     )
 
     def check(self, ctx: FileContext) -> list[Finding]:
@@ -111,6 +124,7 @@ class ContractsChecker:
             if isinstance(node, ast.Call):
                 self._check_overwrite(ctx, node, findings)
                 self._check_random(ctx, node, in_kernels, findings)
+                self._check_memmap(ctx, node, findings)
         return findings
 
     # -- deprecated-shim-import ----------------------------------------
@@ -218,3 +232,64 @@ class ContractsChecker:
                     checker=self.name,
                 )
             )
+
+    # -- memmap-mode ----------------------------------------------------
+    def _check_memmap(self, ctx, node: ast.Call, findings: list) -> None:
+        name = call_name(node)
+        if name is None:
+            return
+        tail = name.split(".")[-1]
+        if tail in ("memmap", "open_memmap"):
+            # Signature: (filename, dtype=..., mode='r+', ...) — mode is
+            # the third positional slot for np.memmap, keyword-ish for
+            # open_memmap; both default to the *writable* 'r+'.
+            mode = None
+            explicit = False
+            if tail == "memmap" and len(node.args) >= 3:
+                mode, explicit = node.args[2], True
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    mode, explicit = kw.value, True
+            if (
+                explicit
+                and isinstance(mode, ast.Constant)
+                and mode.value == "r"
+            ):
+                return
+            if explicit and not isinstance(mode, ast.Constant):
+                return  # mode computed at runtime: not statically checkable
+            shown = "no mode" if not explicit else f"mode={mode.value!r}"
+            findings.append(
+                ctx.finding(
+                    self.rules[3],
+                    node,
+                    f"{name}() with {shown}: the default mapping mode is "
+                    "the writable 'r+', so a stray in-place store would "
+                    "silently corrupt the mapped artifact for every "
+                    "process sharing it",
+                    hint="pass mode='r' (read-only) explicitly",
+                    checker=self.name,
+                )
+            )
+            return
+        if tail == "load":
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] not in ("np", "numpy"):
+                return
+            for kw in node.keywords:
+                if (
+                    kw.arg == "mmap_mode"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value not in (None, "r")
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self.rules[3],
+                            node,
+                            f"{name}(..., mmap_mode={kw.value.value!r}) "
+                            "maps the file writable; artifacts must only "
+                            "ever be mapped read-only",
+                            hint="use mmap_mode='r'",
+                            checker=self.name,
+                        )
+                    )

@@ -51,7 +51,36 @@ __all__ = [
     "run_plan_overhead",
     "run_backend_scaling",
     "run_kernel_benchmarks",
+    "run_memory_benchmark",
 ]
+
+
+def _host_meta() -> dict:
+    """Host facts stamped into every bench JSON meta.
+
+    Includes the process's peak RSS so committed benchmark artifacts
+    carry their memory footprint alongside their wall times (the
+    memory-plane PR's acceptance evidence, but recorded everywhere so
+    regressions in *any* runner's footprint show up in the bench
+    trajectory). ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+    """
+    import os
+    import platform
+    import sys
+
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        peak_bytes = int(peak) * (1 if sys.platform == "darwin" else 1024)
+    except ImportError:  # non-POSIX platform: no getrusage
+        peak_bytes = None
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "peak_rss_bytes": peak_bytes,
+    }
 
 
 def _effective_scale(name: str, cfg: BenchConfig) -> float:
@@ -709,9 +738,6 @@ def run_backend_scaling(
     ``shm_speedup_vs_processes`` ratio at the largest worker count
     where both ran.
     """
-    import os
-    import platform
-
     if repeats is None:
         repeats = max(2, cfg.trials)
     if repeats < 1:
@@ -820,11 +846,7 @@ def run_backend_scaling(
         "predict_batches": predict_batches,
         "seed": seed,
         "worker_counts": list(worker_counts),
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-        },
+        "host": _host_meta(),
         "scores_identical": all_identical,
         "shm_speedup_vs_processes": shm_vs_procs,
         "shm_speedup_worker_count": largest_t,
@@ -868,9 +890,6 @@ def run_kernel_benchmarks(
     (``knn_query_speedup``, ``iforest_speedup``, ``all_identical``) —
     the format of ``BENCH_pr5.json`` and the CI bench-smoke artifact.
     """
-    import os
-    import platform
-
     from repro.detectors import IsolationForest
     from repro.detectors.lof import _EPS as _LOF_EPS
     from repro.kernels import pairwise_angle_variance, reference
@@ -1033,13 +1052,313 @@ def run_kernel_benchmarks(
         "abod_queries": abod_queries,
         "repeats": repeats,
         "seed": seed,
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-        },
+        "host": _host_meta(),
         "all_identical": all(r["identical"] for r in rows),
         "knn_query_speedup": by_kernel["knn_query"]["speedup"],
         "iforest_speedup": by_kernel["iforest_scoring"]["speedup"],
     }
     return rows, meta
+
+
+# ---------------------------------------------------------------------------
+# Memory plane — mmap-backed artifacts vs inline pickles
+# ---------------------------------------------------------------------------
+def _memory_probe_child(path: str, rows_path: str, first_rows: int, conn) -> None:
+    """Spawn-context child for :func:`run_memory_benchmark`.
+
+    Loads the ensemble artifact, answers one first serving request (a
+    small batch of ``first_rows`` rows — the stream-serving pattern),
+    and sends back its cold-start wall times, peak RSS, and scores (for
+    the parent's bitwise parity check). The child runs in a *fresh*
+    interpreter (spawn context), so the recorded RSS is the artifact's
+    true per-process serving footprint — a forked child would report
+    the parent's inherited pages instead. This is where the two
+    artifact modes diverge: the inline artifact unpickles every array
+    through a private heap copy and rebuilds its flat serving caches on
+    the first request, while the memmapped artifact attaches lazily and
+    only ever faults the pages the request touches.
+    """
+    import os
+    import resource
+    import sys
+
+    from repro.utils.persistence import load_ensemble
+
+    def current_rss() -> int:
+        # VmRSS *now*, not the getrusage high-water mark: interpreter
+        # start-up spikes above steady state, so a peak-based delta
+        # would read zero for any artifact smaller than that headroom.
+        try:
+            with open("/proc/self/statm") as fh:
+                return int(fh.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+        except (OSError, ValueError, IndexError):  # no procfs (not Linux)
+            return 0
+
+    unit = 1 if sys.platform == "darwin" else 1024  # ru_maxrss KB on Linux
+    rss_before = current_rss()
+    t0 = time.perf_counter()
+    model = load_ensemble(path)
+    load_s = time.perf_counter() - t0
+    rows = np.load(rows_path)[:first_rows]
+    t0 = time.perf_counter()
+    scores = model.decision_function(rows)
+    first_score_s = time.perf_counter() - t0
+    rss_after = current_rss()
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * unit
+    conn.send(
+        {
+            "load_s": load_s,
+            "first_score_s": first_score_s,
+            "peak_rss_bytes": int(peak),
+            # Resident growth attributable to serving this artifact —
+            # the interpreter/numpy baseline (identical across modes)
+            # is subtracted out, so small artifacts stay measurable.
+            "serving_rss_delta_bytes": int(rss_after - rss_before),
+            "scores": scores,
+        }
+    )
+    conn.close()
+
+
+def _cold_start_round(
+    ctx, path: str, rows_path: str, first_rows: int, workers: int
+) -> list[dict]:
+    """One cold-start measurement: ``workers`` fresh processes, all
+    loading and scoring the same artifact concurrently."""
+    procs, pipes = [], []
+    for _ in range(workers):
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        p = ctx.Process(
+            target=_memory_probe_child,
+            args=(path, rows_path, first_rows, send_conn),
+        )
+        p.start()
+        send_conn.close()
+        procs.append(p)
+        pipes.append(recv_conn)
+    results = [c.recv() for c in pipes]
+    for p in procs:
+        p.join()
+    for c in pipes:
+        c.close()
+    return results
+
+
+def run_memory_benchmark(
+    cfg: BenchConfig,
+    *,
+    n_train: int = 8000,
+    n_test: int = 2000,
+    n_features: int = 12,
+    n_forests: int = 6,
+    n_trees: int = 200,
+    forest_subsample: int | str = 4096,
+    workers: int = 2,
+    first_rows: int = 64,
+    repeats: int | None = None,
+    seed: int = 0,
+    artifact_dir: str | None = None,
+):
+    """Memory-plane benchmark: mmap-backed serving vs inline artifacts.
+
+    Fits one SUOD pool (arena-heavy isolation forests plus KD-tree
+    neighbor detectors), persists it twice — once with flat arenas
+    externalised for ``np.memmap`` serving (``arenas=True``, the
+    default) and once fully inline (``arenas=False``, the rebuild
+    baseline) — and measures the cold-start path for each artifact:
+    ``workers`` *fresh* spawn-context processes concurrently load the
+    file and answer one small serving request (``first_rows`` rows),
+    reporting per-process load wall, time-to-first-score, and peak
+    RSS. Best-of-``repeats`` rounds. Cold start is ``load +
+    first_score``: for the inline artifact that includes unpickling
+    every array into a private heap copy and rebuilding the flat
+    serving caches; the memmapped artifact attaches lazily and faults
+    only the pages the request touches.
+
+    The parity gates the CI bench-smoke job enforces ride in the meta:
+
+    - ``memmap_bitwise`` — float64 scores served off the memmapped
+      artifact are bitwise-identical to the in-RAM fitted model's;
+    - ``float32_within_tolerance`` — float32 serving mode stays within
+      :data:`repro.memory.FLOAT32_SCORE_ATOL` of float64, and restoring
+      float64 is bitwise-exact (``float32_restore_bitwise``);
+    - ``out_of_core_bitwise`` — chunked scoring of a memmapped row file
+      under a memory budget far below the matrix size is
+      bitwise-identical to one in-RAM pass;
+    - ``workers_bitwise`` — every cold-start worker's scores matched.
+
+    Returns one row per artifact mode plus a meta dict with the
+    headline ``cold_start_speedup`` and ``peak_rss_ratio``
+    (inline / memmap; > 1 means the memory plane wins) and the
+    ``parity_ok`` conjunction of every gate above.
+    """
+    import os
+    import tempfile
+    from multiprocessing import get_context
+
+    from repro.detectors import IsolationForest
+    from repro.memory import (
+        FLOAT32_SCORE_ATOL,
+        open_rows,
+        save_rows,
+        score_out_of_core,
+    )
+    from repro.memory import set_serving_dtype
+    from repro.utils.persistence import (
+        load_ensemble,
+        read_ensemble_header,
+        save_ensemble,
+    )
+
+    if repeats is None:
+        repeats = max(2, cfg.trials)
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not 1 <= first_rows <= n_test:
+        raise ValueError("first_rows must be in [1, n_test]")
+
+    Xtr, _ = make_outlier_dataset(
+        n_train, n_features, contamination=0.1, random_state=seed
+    )
+    Xte, _ = make_outlier_dataset(
+        n_test, n_features, contamination=0.1, random_state=seed + 1
+    )
+    pool = [
+        IsolationForest(
+            n_estimators=n_trees,
+            max_samples=forest_subsample,
+            random_state=seed + i,
+        )
+        for i in range(n_forests)
+    ]
+    pool += [
+        KNN(n_neighbors=_safe_k(n_train, 10)),
+        LOF(n_neighbors=_safe_k(n_train, 15)),
+    ]
+    model = SUOD(
+        pool,
+        approx_flag_global=False,  # measure the detectors, not PSA
+        random_state=seed,
+    ).fit(Xtr)
+    ref = model.decision_function(Xte)
+    ref_first = model.decision_function(Xte[:first_rows])
+
+    tmp = None
+    if artifact_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro_membench_")
+        artifact_dir = tmp.name
+    try:
+        paths = {
+            "memmap": save_ensemble(
+                model, os.path.join(artifact_dir, "ens_arena.repro"), arenas=True
+            ),
+            "inline": save_ensemble(
+                model, os.path.join(artifact_dir, "ens_inline.repro"), arenas=False
+            ),
+        }
+        rows_path = os.path.join(artifact_dir, "probe_rows.npy")
+        save_rows(Xte, rows_path)
+        header = read_ensemble_header(paths["memmap"])
+
+        # -- parity gates (parent process) -----------------------------
+        served = load_ensemble(paths["memmap"])
+        memmap_bitwise = bool(np.array_equal(served.decision_function(Xte), ref))
+        set_serving_dtype(served, "float32")
+        f32_diff = float(np.abs(served.decision_function(Xte) - ref).max())
+        set_serving_dtype(served, "float64")
+        restore_bitwise = bool(np.array_equal(served.decision_function(Xte), ref))
+        # Budget far below the probe matrix: the ring must stream.
+        budget = max(4096, int(Xte.nbytes) // 8)
+        ooc = score_out_of_core(
+            served, open_rows(rows_path), memory_budget_bytes=budget
+        )
+        ooc_bitwise = bool(np.array_equal(ooc, ref))
+
+        # -- cold-start measurement (spawn children) -------------------
+        ctx = get_context("spawn")
+        rows_out = []
+        for mode, path in paths.items():
+            load_best = score_best = float("inf")
+            rss_samples: list[int] = []
+            delta_samples: list[int] = []
+            identical = True
+            for _ in range(repeats):
+                round_res = _cold_start_round(
+                    ctx, path, rows_path, first_rows, workers
+                )
+                for res in round_res:
+                    load_best = min(load_best, res["load_s"])
+                    score_best = min(score_best, res["first_score_s"])
+                    rss_samples.append(res["peak_rss_bytes"])
+                    delta_samples.append(res["serving_rss_delta_bytes"])
+                    identical = identical and np.array_equal(
+                        res["scores"], ref_first
+                    )
+            rows_out.append(
+                {
+                    "mode": mode,
+                    "workers": workers,
+                    "load_s": load_best,
+                    "first_score_s": score_best,
+                    "cold_total_s": load_best + score_best,
+                    "peak_rss_bytes": int(np.mean(rss_samples)),
+                    "serving_rss_delta_bytes": int(np.mean(delta_samples)),
+                    "artifact_bytes": os.path.getsize(path),
+                    "identical": identical,
+                }
+            )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    by_mode = {r["mode"]: r for r in rows_out}
+    workers_bitwise = all(r["identical"] for r in rows_out)
+    parity_ok = (
+        memmap_bitwise
+        and f32_diff <= FLOAT32_SCORE_ATOL
+        and restore_bitwise
+        and ooc_bitwise
+        and workers_bitwise
+    )
+    meta = {
+        "config": cfg.describe(),
+        "benchmark": "memory_plane",
+        "n_train": n_train,
+        "n_test": n_test,
+        "n_features": n_features,
+        "n_forests": n_forests,
+        "n_trees": n_trees,
+        "forest_subsample": forest_subsample,
+        "workers": workers,
+        "first_rows": first_rows,
+        "repeats": repeats,
+        "seed": seed,
+        "schema_version": header["schema_version"],
+        "arena_count": len(header["arenas"]),
+        "arena_bytes": int(sum(s["nbytes"] for s in header["arenas"])),
+        "artifact_bytes": {m: r["artifact_bytes"] for m, r in by_mode.items()},
+        "probe_matrix_bytes": int(Xte.nbytes),
+        "out_of_core_budget_bytes": budget,
+        "cold_start_speedup": (
+            by_mode["inline"]["cold_total_s"] / by_mode["memmap"]["cold_total_s"]
+        ),
+        "peak_rss_ratio": (
+            by_mode["inline"]["peak_rss_bytes"] / by_mode["memmap"]["peak_rss_bytes"]
+        ),
+        "serving_rss_delta_ratio": (
+            by_mode["inline"]["serving_rss_delta_bytes"]
+            / max(1, by_mode["memmap"]["serving_rss_delta_bytes"])
+        ),
+        "memmap_bitwise": memmap_bitwise,
+        "float32_max_abs_diff": f32_diff,
+        "float32_tolerance": FLOAT32_SCORE_ATOL,
+        "float32_within_tolerance": bool(f32_diff <= FLOAT32_SCORE_ATOL),
+        "float32_restore_bitwise": restore_bitwise,
+        "out_of_core_bitwise": ooc_bitwise,
+        "workers_bitwise": workers_bitwise,
+        "parity_ok": bool(parity_ok),
+        "host": _host_meta(),
+    }
+    return rows_out, meta

@@ -222,9 +222,15 @@ class IsolationForest(BaseDetector):
 
     def __getstate__(self):
         # The flat arena duplicates the trees; rebuild it lazily on load
-        # instead of pickling it.
+        # instead of pickling it — except under an arena-serialising
+        # ensemble save, where the flat arrays become the memmapped
+        # artifact blobs workers serve from.
+        from repro.memory.arena import serialize_arenas_active
+
         state = self.__dict__.copy()
-        state.pop("_flat_cache", None)
+        if not serialize_arenas_active():
+            state.pop("_flat_cache", None)
+        state.pop("_serving_flat64", None)
         return state
 
     def _score(self, X: np.ndarray) -> np.ndarray:

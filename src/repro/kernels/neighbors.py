@@ -68,7 +68,11 @@ def kdtree_query_batched(
     ``(distance, index)``.
     """
     q = X_query.shape[0]
-    out_d = np.empty((q, k), dtype=np.float64)
+    # Distances come back in the tree's serving dtype (float64 default;
+    # float32 when the tree was cast). Internal selection state stays
+    # float64 either way — promotion is exact, so the float64 path is
+    # bitwise-unchanged and the float32 path loses nothing in merges.
+    out_d = np.empty((q, k), dtype=tree._data.dtype)
     out_i = np.empty((q, k), dtype=np.int64)
     for start in range(0, q, block_rows):
         stop = min(start + block_rows, q)

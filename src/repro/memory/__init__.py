@@ -1,0 +1,60 @@
+"""Memory plane: file-backed arenas, reduced-precision serving, out-of-core.
+
+Three capabilities, all opt-in and all preserving the float64 bitwise
+contract of the compute kernels:
+
+- :mod:`repro.memory.arena` — read-only ``np.memmap`` views over the
+  arena blobs of a saved ensemble artifact, picklable *by reference* so
+  N worker processes share one page-cache copy of the kernel arenas;
+- :mod:`repro.memory.serving` — ``set_serving_dtype(model, 'float32')``
+  switches the kernel arenas (flat forests, KD-trees, neighbor data) to
+  float32 with a documented, test-pinned tolerance, reversibly;
+- :mod:`repro.memory.outofcore` — ``score_out_of_core`` streams the row
+  axis of a disk-resident dataset through ``decision_function`` with a
+  bounded ring of reusable row-block buffers, bitwise-identical to
+  scoring the whole matrix in RAM.
+"""
+
+from repro.memory.arena import (
+    ALIGNMENT,
+    ArenaView,
+    align_up,
+    load_view,
+    mapped_file,
+    release_mappings,
+    serialize_arenas,
+    serialize_arenas_active,
+)
+from repro.memory.outofcore import (
+    RowBlockRing,
+    open_rows,
+    save_rows,
+    score_out_of_core,
+)
+from repro.memory.serving import (
+    FLOAT32_KERNEL_ATOL,
+    FLOAT32_KERNEL_RTOL,
+    FLOAT32_SCORE_ATOL,
+    serving_dtype,
+    set_serving_dtype,
+)
+
+__all__ = [
+    "ALIGNMENT",
+    "ArenaView",
+    "align_up",
+    "load_view",
+    "mapped_file",
+    "release_mappings",
+    "serialize_arenas",
+    "serialize_arenas_active",
+    "RowBlockRing",
+    "open_rows",
+    "save_rows",
+    "score_out_of_core",
+    "FLOAT32_KERNEL_ATOL",
+    "FLOAT32_KERNEL_RTOL",
+    "FLOAT32_SCORE_ATOL",
+    "serving_dtype",
+    "set_serving_dtype",
+]

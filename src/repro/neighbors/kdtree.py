@@ -119,6 +119,26 @@ class KDTree:
         self.n_samples_, self.n_features_ = X.shape
 
     # ------------------------------------------------------------------
+    def cast(self, dtype) -> "KDTree":
+        """Copy of the tree serving queries in ``dtype`` (float32 mode).
+
+        Topology (splits, slices, permutation) is shared with the
+        source tree; only the float payloads — split planes and the
+        reordered data block — are cast, so a float32 serving tree
+        costs half the data footprint. Casting to the current dtype
+        returns ``self``; queries against a cast tree compute distances
+        in that dtype (the float64 tree stays the bitwise reference).
+        """
+        dt = np.dtype(dtype)
+        if dt == self._data.dtype:
+            return self
+        clone = object.__new__(KDTree)
+        clone.__dict__.update(self.__dict__)
+        clone._split_val = self._split_val.astype(dt)
+        clone._data = self._data.astype(dt)
+        return clone
+
+    # ------------------------------------------------------------------
     def query(
         self,
         X_query: np.ndarray,
@@ -142,7 +162,9 @@ class KDTree:
         (default) picks batched for non-trivial query counts. Both
         engines return identical arrays.
         """
-        X_query = np.asarray(X_query, dtype=np.float64)
+        # Queries run in the tree's serving dtype (float64 unless the
+        # tree was cast for float32 serving).
+        X_query = np.asarray(X_query, dtype=self._data.dtype)
         if X_query.ndim != 2 or X_query.shape[1] != self.n_features_:
             raise ValueError(
                 f"query must be (q, {self.n_features_}), got {X_query.shape}"
@@ -158,7 +180,7 @@ class KDTree:
             return kdtree_query_batched(
                 self, X_query, k, exclude_self=exclude_self, block_rows=block_rows
             )
-        out_d = np.empty((q, k), dtype=np.float64)
+        out_d = np.empty((q, k), dtype=self._data.dtype)
         out_i = np.empty((q, k), dtype=np.int64)
         for qi in range(q):
             out_d[qi], out_i[qi] = self._query_one(

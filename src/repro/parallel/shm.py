@@ -9,7 +9,9 @@ swamps the work it parallelises. This module replaces the copies with
 
 - :class:`SharedArrayHandle` — a tiny picklable descriptor (segment
   name + shape + dtype) naming a ``multiprocessing.shared_memory``
-  segment that holds the array bytes;
+  segment that holds the array bytes — or, for the memory plane, a
+  read-only byte range of an on-disk ensemble artifact (``path`` +
+  ``offset``), which workers map instead of copying;
 - :class:`SharedMemoryArena` — the owner of segments on the parent
   side, with a deterministic create → share → dispose (close + unlink)
   lifecycle and identity-deduplication, so a space list that repeats
@@ -92,12 +94,23 @@ class SharedArrayHandle:
     name: str
     shape: tuple[int, ...]
     dtype: str
+    # File-backed segments (the memory plane): when ``path`` is set the
+    # handle names a byte range of an on-disk artifact instead of a shm
+    # segment; attaching maps the file read-only and every worker shares
+    # one page-cache copy. ``name`` is empty for these handles.
+    path: str | None = None
+    offset: int = 0
 
     @property
     def nbytes(self) -> int:
         return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
 
     def __repr__(self) -> str:
+        if self.path is not None:
+            return (
+                f"SharedArrayHandle(file={self.path!r}, offset={self.offset}, "
+                f"shape={self.shape}, dtype={self.dtype!r})"
+            )
         return (
             f"SharedArrayHandle({self.name!r}, shape={self.shape}, "
             f"dtype={self.dtype!r})"
@@ -131,6 +144,14 @@ def attach_array(handle: SharedArrayHandle) -> np.ndarray:
     hit. Views are marked non-writable: workers share the bytes with
     the parent and each other, so in-place mutation would be a race.
     """
+    if handle.path is not None:
+        # File-backed segment: map the artifact read-only and slice the
+        # named byte range. The arena module caches one mapping per file
+        # per process, so repeated handles cost a dict hit and all
+        # workers share the same page-cache copy of the bytes.
+        from repro.memory.arena import load_view
+
+        return load_view(handle.path, handle.offset, handle.dtype, handle.shape)
     if not handle.name:  # zero-byte array: nothing is backing it
         return np.empty(handle.shape, dtype=np.dtype(handle.dtype))
     entry = _attached.get(handle.name)
@@ -236,10 +257,25 @@ class SharedMemoryArena:
         """Copy ``array`` into a new shared segment; return its handle."""
         if self._disposed:
             raise RuntimeError("arena was disposed; create a new one")
-        array = np.asarray(array)
+        # asanyarray, not asarray: asarray would strip the ArenaView
+        # subclass (and with it the file-backed ``_arena_source``),
+        # silently downgrading a zero-copy reference into a /dev/shm
+        # copy of the blob.
+        array = np.asanyarray(array)
         cached = self._by_id.get(id(array))
         if cached is not None:
             return cached[1]
+        source = getattr(array, "_arena_source", None)
+        if source is not None:
+            # Already file-backed (an ArenaView of a persisted ensemble):
+            # no copy is needed — the handle just names the byte range,
+            # and workers re-map the same artifact file.
+            path, offset, dtype_str, shape = source
+            handle = SharedArrayHandle(
+                "", tuple(shape), dtype_str, path=path, offset=offset
+            )
+            self._by_id[id(array)] = (array, handle)
+            return handle
         if array.nbytes == 0:
             handle = SharedArrayHandle("", array.shape, array.dtype.str)
             self._by_id[id(array)] = (array, handle)

@@ -149,16 +149,42 @@ class TestEnsemblePersistence:
         with pytest.raises(TypeError, match="save_model"):
             save_ensemble(KNN(n_neighbors=5).fit(tiny_X), tmp_path / "ens.pkl")
 
-    def test_different_schema_version_rejected(self, tmp_path, tiny_X):
-        import pickle
+    @staticmethod
+    def _repack_v2(path, mutate):
+        """Rewrite a v2 artifact with a tampered header.
 
+        Speaks the raw container format (preamble struct, header
+        pickle, model pickle, 64-byte-aligned blob region) so the
+        mutated file is structurally valid — the loader must reject it
+        on *semantics*, not on a parse error.
+        """
+        import pickle
+        import struct
+
+        preamble = struct.Struct("<8sQ")
+        raw = path.read_bytes()
+        magic, header_len = preamble.unpack_from(raw)
+        header = pickle.loads(raw[preamble.size : preamble.size + header_len])
+        body = preamble.size + header_len
+        model = raw[body : body + header["model_nbytes"]]
+        old_data_start = -(-(body + len(model)) // 64) * 64
+        blobs = raw[old_data_start:]
+        mutate(header)
+        header_bytes = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
+        data_start = -(-(preamble.size + len(header_bytes) + len(model)) // 64) * 64
+        with open(path, "wb") as fh:
+            fh.write(preamble.pack(magic, len(header_bytes)))
+            fh.write(header_bytes)
+            fh.write(model)
+            fh.write(b"\0" * (data_start - fh.tell()))
+            fh.write(blobs)
+
+    def test_different_schema_version_rejected(self, tmp_path, tiny_X):
         p = save_ensemble(_fitted_ensemble(tiny_X), tmp_path / "ens.pkl")
-        with open(p, "rb") as fh:
-            payload = pickle.load(fh)
+        pristine = p.read_bytes()
         for bad in (ENSEMBLE_SCHEMA_VERSION + 1, ENSEMBLE_SCHEMA_VERSION - 1):
-            payload["schema_version"] = bad
-            with open(p, "wb") as fh:
-                pickle.dump(payload, fh)
+            p.write_bytes(pristine)
+            self._repack_v2(p, lambda h: h.__setitem__("schema_version", bad))
             with pytest.raises(ValueError, match="schema version"):
                 load_ensemble(p)
 
@@ -172,13 +198,29 @@ class TestEnsemblePersistence:
             load_ensemble(p)
 
     def test_manifest_mismatch_rejected(self, tmp_path, tiny_X):
+        p = save_ensemble(_fitted_ensemble(tiny_X), tmp_path / "ens.pkl")
+
+        def bump_models(header):
+            header["manifest"]["n_models"] += 1
+
+        self._repack_v2(p, bump_models)
+        with pytest.raises(ValueError, match="integrity"):
+            load_ensemble(p)
+
+    def test_truncated_arena_region_rejected(self, tmp_path, tiny_X):
+        p = save_ensemble(_fitted_ensemble(tiny_X), tmp_path / "ens.pkl")
+        raw = p.read_bytes()
+        p.write_bytes(raw[: len(raw) - 256])
+        with pytest.raises(ValueError, match="integrity"):
+            load_ensemble(p)
+
+    def test_legacy_v1_named_in_error(self, tmp_path):
         import pickle
 
-        p = save_ensemble(_fitted_ensemble(tiny_X), tmp_path / "ens.pkl")
-        with open(p, "rb") as fh:
-            payload = pickle.load(fh)
-        payload["manifest"]["n_models"] += 1
+        p = tmp_path / "legacy.pkl"
         with open(p, "wb") as fh:
-            pickle.dump(payload, fh)
-        with pytest.raises(ValueError, match="integrity"):
+            pickle.dump(
+                {"magic": "repro-ensemble", "schema_version": 1, "model": None}, fh
+            )
+        with pytest.raises(ValueError, match="schema version 1"):
             load_ensemble(p)

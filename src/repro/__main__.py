@@ -12,6 +12,9 @@ Usage::
     python -m repro schedulers [--quick] [--json out.json]
     python -m repro kernels [--quick] [--json out.json]
     python -m repro memory [--quick] [--json out.json]
+    python -m repro serve --artifact ensemble.repro [--port 9000]
+    python -m repro service [--quick] [--json out.json]
+    python -m repro bench-all [--quick] [--json-dir DIR]
     python -m repro analyze [paths ...] [--rule RULE] [--json out.json]
 
 ``plan`` is not an experiment: it compiles a SUOD fit/predict pass into
@@ -48,6 +51,27 @@ float64; float32 serving within its pinned tolerance). Exits non-zero
 if any parity check fails. Its JSON output is committed as
 ``BENCH_pr7.json`` and uploaded by CI bench-smoke.
 
+``serve`` runs the online scoring service: a long-lived asyncio socket
+server (:mod:`repro.serving`) around a saved v2 ensemble artifact,
+coalescing concurrent requests into cost-model-sized micro-batches with
+per-tenant admission control. It prints a ``REPRO-SERVE READY`` line
+once listening and drains cleanly on SIGTERM/SIGINT.
+
+``service`` benchmarks that serving plane: it boots real server
+processes (micro-batched and per-request), drives concurrent
+mixed-tenant clients — one deliberately past its rate limit — and
+reports throughput/p50/p99 alongside the gates CI enforces: returned
+scores bitwise-identical to offline ``decision_function`` calls,
+rate limiting observable, SIGTERM drain clean. Its JSON output is
+committed as ``BENCH_pr8.json`` and uploaded by the CI
+``service-smoke`` job.
+
+``bench-all`` drives every registered benchmark suite (scaling,
+schedulers, kernels, memory, service) through one command, writing
+``bench_<name>.json`` per suite into ``--json-dir`` — the single CI
+bench-smoke step, so new subsystems are picked up by registration
+instead of workflow edits.
+
 ``analyze`` runs the :mod:`repro.analysis` static checkers over the
 source tree (bitwise-parity hazards, shm lifecycle, payload
 concurrency, repo contracts, frozen-reference pin) and exits non-zero
@@ -55,6 +79,11 @@ on any new finding — the blocking CI ``analyze`` job.
 
 Experiments honour the same REPRO_* environment variables as the
 benchmark suite; CLI flags override them.
+
+Bad input (a missing or corrupt artifact, an unwritable ``--json``
+target) is an operator mistake, not a crash: every subcommand reports
+it as a one-line ``error: …`` on stderr and exits with status 2,
+reserving status 1 for genuine gate failures.
 """
 
 from __future__ import annotations
@@ -62,6 +91,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
 
@@ -112,15 +142,44 @@ _BACKENDS = (
 )
 
 
+class CLIError(Exception):
+    """Operator-facing bad input: one line on stderr, exit status 2.
+
+    Distinct from exit 1, which every benchmark subcommand reserves for
+    a real gate failure (parity mismatch, no adaptive improvement …).
+    """
+
+
 def _emit_json(payload: dict, json_path: str) -> None:
     """Write a JSON payload to a file or stdout (``'-'``)."""
     if json_path == "-":
         print(json.dumps(payload, indent=2))
         return
-    with open(json_path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    try:
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    except OSError as exc:
+        raise CLIError(f"cannot write JSON to {json_path!r}: {exc}") from exc
     print(f"wrote {json_path}")
+
+
+def _load_serving_artifact(path: str):
+    """Load a v2 ensemble artifact, mapping failures onto :class:`CLIError`."""
+    import pickle
+
+    from repro.utils.persistence import load_ensemble
+
+    try:
+        return load_ensemble(path)
+    except FileNotFoundError as exc:
+        raise CLIError(f"artifact {path!r} does not exist") from exc
+    except IsADirectoryError as exc:
+        raise CLIError(
+            f"artifact {path!r} is a directory, expected a v2 ensemble file"
+        ) from exc
+    except (ValueError, pickle.UnpicklingError, EOFError, OSError) as exc:
+        raise CLIError(f"cannot load ensemble artifact {path!r}: {exc}") from exc
 
 
 def _task_labels(plan, estimators) -> list[str]:
@@ -625,6 +684,10 @@ def run_memory_command(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
+    if args.artifact_dir is not None and not os.path.isdir(args.artifact_dir):
+        raise CLIError(
+            f"--artifact-dir {args.artifact_dir!r} is not an existing directory"
+        )
 
     kwargs = {"seed": args.seed}
     if args.quick:
@@ -705,6 +768,359 @@ def run_memory_command(argv=None) -> int:
     return 0 if meta["parity_ok"] else 1
 
 
+def _parse_tenant_limits(specs) -> dict[str, tuple[float, float]]:
+    """``name=rate`` / ``name=rate:burst`` CLI specs into a limits dict."""
+    limits: dict[str, tuple[float, float]] = {}
+    for spec in specs or []:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise CLIError(
+                f"--tenant-limit {spec!r} is malformed; expected "
+                "name=rate or name=rate:burst"
+            )
+        rate_s, _, burst_s = value.partition(":")
+        try:
+            rate = float(rate_s)
+            burst = float(burst_s) if burst_s else rate
+        except ValueError as exc:
+            raise CLIError(
+                f"--tenant-limit {spec!r} has a non-numeric rate/burst"
+            ) from exc
+        if rate <= 0 or burst <= 0:
+            raise CLIError(f"--tenant-limit {spec!r} must be > 0")
+        limits[name] = (rate, burst)
+    return limits
+
+
+def run_serve_command(argv=None) -> int:
+    """``python -m repro serve``: the online micro-batching scoring server."""
+    import asyncio
+
+    from repro.serving import ScoringServer, ServerConfig
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve a saved v2 ensemble artifact over a length-prefixed "
+            "JSON/npy socket protocol, coalescing concurrent requests "
+            "into cost-model-sized micro-batches with per-tenant "
+            "admission control. Prints a 'REPRO-SERVE READY' line once "
+            "listening and drains cleanly on SIGTERM/SIGINT (every "
+            "accepted request is answered before exit)."
+        ),
+    )
+    parser.add_argument(
+        "--artifact",
+        required=True,
+        help="path to a v2 ensemble artifact (save_ensemble output)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port (see READY line)"
+    )
+    parser.add_argument(
+        "--batch-max-rows",
+        type=int,
+        default=4096,
+        help="hard ceiling on micro-batch size (rows)",
+    )
+    parser.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=5.0,
+        help="longest a batch stays open after its first request",
+    )
+    parser.add_argument(
+        "--target-latency-ms",
+        type=float,
+        default=50.0,
+        help="execution-time budget the batch-size forecast targets",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=1000.0,
+        help="default per-tenant admission rate (requests/s)",
+    )
+    parser.add_argument(
+        "--burst", type=float, default=2000.0, help="default per-tenant burst"
+    )
+    parser.add_argument(
+        "--tenant-limit",
+        action="append",
+        metavar="NAME=RATE[:BURST]",
+        help="per-tenant rate override (repeatable)",
+    )
+    parser.add_argument(
+        "--max-queue-rows",
+        type=int,
+        default=65536,
+        help="shed new requests once this many rows are queued",
+    )
+    parser.add_argument(
+        "--max-payload-mb",
+        type=float,
+        default=64.0,
+        help="reject request frames with larger payloads (413)",
+    )
+    parser.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline budget applied to requests that carry none",
+    )
+    args = parser.parse_args(argv)
+
+    tenant_limits = _parse_tenant_limits(args.tenant_limit)
+    model = _load_serving_artifact(args.artifact)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        batch_max_rows=args.batch_max_rows,
+        batch_wait_ms=args.batch_wait_ms,
+        target_latency_ms=args.target_latency_ms,
+        rate=args.rate,
+        burst=args.burst,
+        tenant_limits=tenant_limits,
+        max_queue_rows=args.max_queue_rows,
+        max_payload_bytes=int(args.max_payload_mb * (1 << 20)),
+        default_deadline_ms=args.default_deadline_ms,
+    )
+    server = ScoringServer(model, config)
+
+    def announce(srv) -> None:
+        print(
+            f"REPRO-SERVE READY host={args.host} port={srv.port} "
+            f"pid={os.getpid()} n_features={srv.n_features}",
+            flush=True,
+        )
+
+    asyncio.run(server.run_until_shutdown(announce=announce))
+    st = server.stats
+    print(
+        f"REPRO-SERVE DRAINED served_ok={st.served_ok} "
+        f"rejected={st.rejected} errors={st.errors} "
+        f"dropped_responses={st.dropped_responses}",
+        flush=True,
+    )
+    return 0
+
+
+def run_service_command(argv=None) -> int:
+    """``python -m repro service``: the serving-plane benchmark + gate."""
+    from repro.bench.runners import run_service_benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro service",
+        description=(
+            "Benchmark the online scoring service: boot real server "
+            "processes from a saved v2 artifact (micro-batched and "
+            "per-request), drive concurrent mixed-tenant clients (one "
+            "deliberately past its rate limit), and compare request "
+            "throughput and latency percentiles. Exits non-zero if any "
+            "gate fails: served scores must be bitwise-identical to "
+            "offline decision_function calls, the limited tenant must "
+            "see 429s while others see none, and SIGTERM must drain "
+            "each server cleanly. Timings are informational on shared "
+            "hosts; the JSON rows are the format of BENCH_pr8.json and "
+            "of the CI service-smoke artifact."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: smaller pool, fewer requests and clients",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="write rows + meta as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument(
+        "--rows", type=int, default=None, help="rows per scoring request"
+    )
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--n-train", type=int, default=None)
+    parser.add_argument("--models", type=int, default=None, help="pool size m")
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="keep the saved artifact in this directory instead of a tempdir",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.artifact_dir is not None and not os.path.isdir(args.artifact_dir):
+        raise CLIError(
+            f"--artifact-dir {args.artifact_dir!r} is not an existing directory"
+        )
+
+    kwargs = {"seed": args.seed}
+    if args.quick:
+        kwargs.update(
+            n_train=800,
+            n_models=4,
+            requests=480,
+            rows_per_request=1,
+            clients=16,
+        )
+    if args.requests is not None:
+        kwargs["requests"] = args.requests
+    if args.rows is not None:
+        kwargs["rows_per_request"] = args.rows
+    if args.clients is not None:
+        kwargs["clients"] = args.clients
+    if args.n_train is not None:
+        kwargs["n_train"] = args.n_train
+    if args.models is not None:
+        kwargs["n_models"] = args.models
+    if args.artifact_dir is not None:
+        kwargs["artifact_dir"] = args.artifact_dir
+
+    t0 = time.perf_counter()
+    rows, meta = run_service_benchmark(get_config(), **kwargs)
+    elapsed = time.perf_counter() - t0
+
+    payload = {"meta": meta, "rows": rows}
+    if args.json_path == "-":
+        _emit_json(payload, "-")
+    else:
+        print(meta["config"])
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "mode",
+                    "requests_ok",
+                    "rejected",
+                    "wall_s",
+                    "requests_per_s",
+                    "p50_ms",
+                    "p99_ms",
+                    "batch_rows_mean",
+                    "identical",
+                ],
+                title="\nScoring service — micro-batched vs per-request",
+            )
+        )
+        print(
+            f"\nthroughput: {meta['throughput_speedup']:.2f}x via micro-batching "
+            f"({meta['requests']} requests x {meta['rows_per_request']} rows, "
+            f"{meta['clients']} concurrent clients)"
+        )
+        print(
+            f"rate limiting: limited tenant saw "
+            f"{meta['limited_tenant_rejections']} rejection(s), "
+            f"measured tenants saw {meta['measured_tenant_rejections']}"
+        )
+        print(
+            "parity (served scores bitwise vs offline decision_function): "
+            f"{meta['parity_ok']}; clean SIGTERM drain: {meta['clean_shutdown']}"
+        )
+        print(f"[service done in {elapsed:.1f}s]")
+    if args.json_path and args.json_path != "-":
+        _emit_json(payload, args.json_path)
+    return 0 if meta["gates_ok"] else 1
+
+
+def run_bench_all_command(argv=None) -> int:
+    """``python -m repro bench-all``: every registered bench suite, one gate."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench-all",
+        description=(
+            "Run every registered benchmark suite "
+            f"({', '.join(BENCH_SUITES)}) and write bench_<name>.json "
+            "per suite into --json-dir. One failing suite fails the "
+            "whole run (after the remaining suites have still been "
+            "executed) — the single CI bench-smoke step, so a new "
+            "subsystem's benchmark is picked up by registering it here "
+            "instead of editing the workflow."
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="pass --quick through to every suite"
+    )
+    parser.add_argument(
+        "--json-dir",
+        default=".",
+        metavar="DIR",
+        help="directory receiving one bench_<name>.json per suite",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of suites to run",
+    )
+    parser.add_argument(
+        "--skip",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated suites to leave out",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="only list registered suites"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in BENCH_SUITES:
+            print(name)
+        return 0
+    selected = list(BENCH_SUITES)
+    for flag, value in (("--only", args.only), ("--skip", args.skip)):
+        if value is None:
+            continue
+        names = [n.strip() for n in value.split(",") if n.strip()]
+        unknown = sorted(set(names) - set(BENCH_SUITES))
+        if unknown:
+            raise CLIError(
+                f"{flag} names unknown suite(s) {', '.join(unknown)}; "
+                f"registered: {', '.join(BENCH_SUITES)}"
+            )
+        if flag == "--only":
+            selected = [n for n in selected if n in names]
+        else:
+            selected = [n for n in selected if n not in names]
+    if not selected:
+        raise CLIError("no suites left to run after --only/--skip")
+    try:
+        os.makedirs(args.json_dir, exist_ok=True)
+    except OSError as exc:
+        raise CLIError(f"cannot create --json-dir {args.json_dir!r}: {exc}") from exc
+
+    results = []
+    for name in selected:
+        json_path = os.path.join(args.json_dir, f"bench_{name}.json")
+        cmd_argv = (["--quick"] if args.quick else []) + ["--json", json_path]
+        print(f"=== bench-all: {name} ===", flush=True)
+        t0 = time.perf_counter()
+        code = BENCH_SUITES[name](cmd_argv)
+        results.append(
+            {
+                "suite": name,
+                "exit_code": code,
+                "json": json_path,
+                "wall_s": round(time.perf_counter() - t0, 2),
+            }
+        )
+    print(
+        format_table(
+            results,
+            columns=["suite", "exit_code", "wall_s", "json"],
+            title="\nbench-all summary",
+        )
+    )
+    failed = [r["suite"] for r in results if r["exit_code"] != 0]
+    if failed:
+        print(f"bench-all: FAILED suites: {', '.join(failed)}")
+        return 1
+    print(f"bench-all: all {len(results)} suites passed")
+    return 0
+
+
 def _print_experiment(name: str, cfg) -> None:
     runner, title = EXPERIMENTS[name]
     print(f"\n=== {title} ===")
@@ -720,22 +1136,63 @@ def _print_experiment(name: str, cfg) -> None:
     print(f"[{name} done in {elapsed:.1f}s]")
 
 
+def _run_analyze_command(argv=None) -> int:
+    from repro.analysis.cli import run_analyze_command
+
+    return run_analyze_command(argv)
+
+
+#: Benchmark suites ``bench-all`` fans out over. Each value is a command
+#: function accepting ``["--quick", "--json", PATH]``-style argv and
+#: returning an exit code; registering a new subsystem's benchmark here
+#: is what puts it in CI's bench-smoke job.
+BENCH_SUITES = {
+    "scaling": run_scaling_command,
+    "schedulers": run_schedulers_command,
+    "kernels": run_kernels_command,
+    "memory": run_memory_command,
+    "service": run_service_command,
+}
+
+#: First-positional-argument dispatch: ``python -m repro <name> ...``.
+SUBCOMMANDS = {
+    "plan": run_plan_command,
+    "scaling": run_scaling_command,
+    "schedulers": run_schedulers_command,
+    "kernels": run_kernels_command,
+    "memory": run_memory_command,
+    "serve": run_serve_command,
+    "service": run_service_command,
+    "bench-all": run_bench_all_command,
+    "analyze": _run_analyze_command,
+}
+
+#: One-line per-subcommand summaries for ``python -m repro list``.
+_SUBCOMMAND_HELP = {
+    "plan": "Inspect a fit/predict ExecutionPlan",
+    "scaling": "Backend scaling benchmark",
+    "schedulers": "Scheduler registry listing + ablation",
+    "kernels": "Compute-kernel microbenchmarks + parity gate",
+    "memory": "Memory-plane benchmark + parity gate",
+    "serve": "Online micro-batching scoring server",
+    "service": "Serving-plane benchmark + parity gate",
+    "bench-all": "Run every benchmark suite, one JSON per suite",
+    "analyze": "Static invariant checks (parity/lifecycle/concurrency)",
+}
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "plan":
-        return run_plan_command(argv[1:])
-    if argv and argv[0] == "scaling":
-        return run_scaling_command(argv[1:])
-    if argv and argv[0] == "schedulers":
-        return run_schedulers_command(argv[1:])
-    if argv and argv[0] == "kernels":
-        return run_kernels_command(argv[1:])
-    if argv and argv[0] == "memory":
-        return run_memory_command(argv[1:])
-    if argv and argv[0] == "analyze":
-        from repro.analysis.cli import run_analyze_command
+    try:
+        if argv and argv[0] in SUBCOMMANDS:
+            return SUBCOMMANDS[argv[0]](argv[1:])
+        return _run_experiments(argv)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
-        return run_analyze_command(argv[1:])
+
+def _run_experiments(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -761,30 +1218,11 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name, (_, title) in sorted(EXPERIMENTS.items()):
             print(f"{name:14s} {title}")
-        print(
-            f"{'plan':14s} Inspect a fit/predict ExecutionPlan "
-            "(python -m repro plan --help)"
-        )
-        print(
-            f"{'scaling':14s} Backend scaling benchmark "
-            "(python -m repro scaling --help)"
-        )
-        print(
-            f"{'schedulers':14s} Scheduler registry listing + ablation "
-            "(python -m repro schedulers --help)"
-        )
-        print(
-            f"{'kernels':14s} Compute-kernel microbenchmarks + parity gate "
-            "(python -m repro kernels --help)"
-        )
-        print(
-            f"{'memory':14s} Memory-plane benchmark + parity gate "
-            "(python -m repro memory --help)"
-        )
-        print(
-            f"{'analyze':14s} Static invariant checks (parity/lifecycle/"
-            "concurrency) (python -m repro analyze --help)"
-        )
+        for name in SUBCOMMANDS:
+            print(
+                f"{name:14s} {_SUBCOMMAND_HELP[name]} "
+                f"(python -m repro {name} --help)"
+            )
         return 0
 
     cfg = get_config()

@@ -134,6 +134,15 @@ def run_analyze_command(argv=None, out=None) -> int:
         return 0
 
     root = Path(args.root).resolve()
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        # Silently scanning 0 files would report "clean" for a typo'd
+        # path — operator error is exit 2, distinct from findings (1).
+        print(
+            "analyze: no such file or directory: " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
     baseline = None
     baseline_path = None
     if not args.no_baseline:

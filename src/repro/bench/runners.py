@@ -52,6 +52,7 @@ __all__ = [
     "run_backend_scaling",
     "run_kernel_benchmarks",
     "run_memory_benchmark",
+    "run_service_benchmark",
 ]
 
 
@@ -1359,6 +1360,403 @@ def run_memory_benchmark(
         "out_of_core_bitwise": ooc_bitwise,
         "workers_bitwise": workers_bitwise,
         "parity_ok": bool(parity_ok),
+        "host": _host_meta(),
+    }
+    return rows_out, meta
+
+
+# ---------------------------------------------------------------------------
+# Serving plane — micro-batched scoring service vs per-request
+# ---------------------------------------------------------------------------
+class _ServeProcess:
+    """One ``python -m repro serve`` child, booted from a saved artifact.
+
+    The READY line is parsed off stdout to learn the OS-assigned port; a
+    reader thread keeps draining stdout so the child never blocks on a
+    full pipe, and the captured lines let :meth:`shutdown` verify the
+    DRAINED line that proves a clean SIGTERM drain.
+    """
+
+    READY_RE = r"^REPRO-SERVE READY .*port=(\d+)"
+
+    def __init__(self, artifact: str, extra_args: list[str], *, timeout: float = 60.0):
+        import os
+        import subprocess
+        import sys
+        import threading
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        self.timeout = timeout
+        self.lines: list[str] = []
+        self._ready = threading.Event()
+        self._port: int | None = None
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve"]
+            + ["--artifact", artifact, *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self._reader = threading.Thread(target=self._drain_stdout, daemon=True)
+        self._reader.start()
+
+    def _drain_stdout(self) -> None:
+        import re
+
+        for line in self.proc.stdout:
+            self.lines.append(line.rstrip("\n"))
+            match = re.match(self.READY_RE, line)
+            if match:
+                self._port = int(match.group(1))
+                self._ready.set()
+        self._ready.set()  # EOF: wake a waiter even if READY never came
+
+    @property
+    def port(self) -> int:
+        if not self._ready.wait(self.timeout):
+            self.proc.kill()
+            raise RuntimeError("serve process never printed its READY line")
+        if self._port is None:
+            raise RuntimeError(
+                "serve process exited before READY:\n" + "\n".join(self.lines)
+            )
+        return self._port
+
+    def shutdown(self) -> bool:
+        """SIGTERM, wait, and report whether the drain was clean."""
+        import signal
+        import subprocess
+
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            code = self.proc.wait(timeout=self.timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+            return False
+        self._reader.join(timeout=self.timeout)
+        drained = any(line.startswith("REPRO-SERVE DRAINED") for line in self.lines)
+        return code == 0 and drained
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+
+
+class _ClientWorker:
+    """One benchmark client: a connection driving its share of requests.
+
+    Thread target is the bound :meth:`run`; results land on the instance
+    (each worker owns its own lists), and the driver reads them only
+    after ``join()``.
+    """
+
+    def __init__(self, host, port, X, slices, refs, *, tenant="bench", timeout=60.0):
+        self.host = host
+        self.port = port
+        self.X = X
+        self.slices = slices
+        self.refs = refs
+        self.tenant = tenant
+        self.timeout = timeout
+        self.latencies_s: list[float] = []
+        self.rejected: list[int] = []
+        self.mismatched: list[int] = []
+        self.error: str | None = None
+
+    def run(self) -> None:
+        from repro.serving import ScoringClient
+
+        try:
+            with ScoringClient(
+                self.host, self.port, tenant=self.tenant, timeout=self.timeout
+            ) as client:
+                for idx, (start, stop) in self.slices:
+                    t0 = time.perf_counter()
+                    reply = client.score(self.X[start:stop])
+                    self.latencies_s.append(time.perf_counter() - t0)
+                    if not reply.ok:
+                        self.rejected.append(reply.code)
+                    elif not np.array_equal(reply.scores, self.refs[idx]):
+                        self.mismatched.append(idx)
+        except Exception as exc:  # surfaced by the driver, not swallowed
+            self.error = f"{type(exc).__name__}: {exc}"
+
+
+def _drive_service_mode(
+    host, port, X, request_slices, refs, clients, hot_requests, rows_per_request
+):
+    """Run the measured workload plus the over-limit tenant burst."""
+    import threading
+
+    workers = [
+        _ClientWorker(
+            host,
+            port,
+            X,
+            [(i, s) for i, s in enumerate(request_slices) if i % clients == w],
+            refs,
+            tenant=f"bench-{w}",
+        )
+        for w in range(clients)
+    ]
+    threads = [threading.Thread(target=w.run) for w in workers]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t0
+    errors = [w.error for w in workers if w.error]
+    if errors:
+        raise RuntimeError(f"benchmark client failed: {errors[0]}")
+
+    # Over-limit tenant: a post-measurement burst against a 1 req/s
+    # bucket — everything past the first token must see a 429.
+    hot = _ClientWorker(
+        host,
+        port,
+        X,
+        [(0, (0, rows_per_request))] * hot_requests,
+        refs,
+        tenant="hot",
+    )
+    hot.run()
+    if hot.error:
+        raise RuntimeError(f"over-limit tenant client failed: {hot.error}")
+
+    latencies = np.array(
+        [lat for w in workers for lat in w.latencies_s], dtype=np.float64
+    )
+    n_ok = int(latencies.size) - sum(len(w.rejected) for w in workers)
+    return {
+        "wall_s": wall_s,
+        "n_ok": n_ok,
+        "measured_rejections": sum(len(w.rejected) for w in workers),
+        "mismatched": sum(len(w.mismatched) for w in workers),
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+        "hot_rejections": len(hot.rejected),
+        "hot_rejection_codes": sorted(set(hot.rejected)),
+        "hot_mismatched": len(hot.mismatched),
+    }
+
+
+def run_service_benchmark(
+    cfg: BenchConfig,
+    *,
+    n_train: int = 2000,
+    n_features: int = 12,
+    n_models: int = 6,
+    n_trees: int = 100,
+    forest_subsample: int | str = 2048,
+    requests: int = 960,
+    rows_per_request: int = 1,
+    clients: int = 16,
+    hot_requests: int = 8,
+    batch_wait_ms: float = 6.0,
+    seed: int = 0,
+    artifact_dir: str | None = None,
+):
+    """Serving-plane benchmark: micro-batched service vs per-request.
+
+    Fits one SUOD pool, saves it as a v2 artifact, and boots **real**
+    ``python -m repro serve`` processes from it twice: once with
+    micro-batching live (cost-model-sized batches, ``batch_wait_ms``
+    coalescing window) and
+    once degraded to per-request execution (``--batch-max-rows 1
+    --batch-wait-ms 0`` — every batch is exactly one request, the
+    classic request-per-call baseline). Each mode serves the same
+    workload: ``clients`` concurrent connections round-robin
+    ``requests`` scoring requests of ``rows_per_request`` rows, then an
+    over-limit tenant (token bucket pinned to 1 req/s via
+    ``--tenant-limit hot=1:1``) fires a burst that must be 429'd.
+
+    The gates the CI service-smoke job enforces ride in the meta:
+
+    - ``parity_ok`` — every served score vector in **both** modes is
+      bitwise-identical to an offline ``decision_function`` call on the
+      same rows (micro-batching changes the execution grain, never the
+      bytes);
+    - ``rate_limit_ok`` — the over-limit tenant saw at least one 429
+      and the measured tenants saw none;
+    - ``clean_shutdown`` — both servers exited 0 on SIGTERM after
+      printing their DRAINED line (every accepted request answered).
+
+    ``throughput_speedup`` (micro-batch requests/s over per-request) is
+    the headline number but is *not* gated — wall-clock on shared CI
+    hosts is informational; BENCH_pr8.json records it from a quiet
+    host.
+    """
+    import os
+    import tempfile
+
+    from repro.detectors import IsolationForest
+    from repro.utils.persistence import load_ensemble, save_ensemble
+
+    if requests < clients or clients < 1:
+        raise ValueError("need requests >= clients >= 1")
+    if rows_per_request < 1:
+        raise ValueError("rows_per_request must be >= 1")
+
+    Xtr, _ = make_outlier_dataset(
+        n_train, n_features, contamination=0.1, random_state=seed
+    )
+    X, _ = make_outlier_dataset(
+        requests * rows_per_request,
+        n_features,
+        contamination=0.1,
+        random_state=seed + 1,
+    )
+    pool = [
+        IsolationForest(
+            n_estimators=n_trees,
+            max_samples=forest_subsample,
+            random_state=seed + i,
+        )
+        for i in range(max(1, n_models - 2))
+    ]
+    pool += [
+        KNN(n_neighbors=_safe_k(n_train, 10)),
+        LOF(n_neighbors=_safe_k(n_train, 15)),
+    ]
+    model = SUOD(
+        pool,
+        approx_flag_global=False,
+        random_state=seed,
+    ).fit(Xtr)
+
+    tmp = None
+    if artifact_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro_servicebench_")
+        artifact_dir = tmp.name
+    modes = {
+        "micro-batch": ["--batch-wait-ms", str(batch_wait_ms)],
+        "per-request": ["--batch-max-rows", "1", "--batch-wait-ms", "0"],
+    }
+    common_args = [
+        "--port",
+        "0",
+        "--rate",
+        "100000",
+        "--burst",
+        "100000",
+        "--tenant-limit",
+        "hot=1:1",
+    ]
+    rows_out = []
+    results = {}
+    clean = {}
+    try:
+        path = save_ensemble(model, os.path.join(artifact_dir, "ens_service.repro"))
+        artifact_bytes = os.path.getsize(path)
+
+        # Per-request offline baseline: the bytes each request would get
+        # from its own decision_function call (served from the same
+        # artifact the server loads).
+        offline = load_ensemble(path)
+        request_slices = [
+            (i * rows_per_request, (i + 1) * rows_per_request)
+            for i in range(requests)
+        ]
+        refs = [
+            offline.decision_function(X[start:stop])
+            for start, stop in request_slices
+        ]
+
+        for mode, mode_args in modes.items():
+            server = _ServeProcess(path, common_args + mode_args)
+            try:
+                port = server.port
+                res = _drive_service_mode(
+                    "127.0.0.1",
+                    port,
+                    X,
+                    request_slices,
+                    refs,
+                    clients,
+                    hot_requests,
+                    rows_per_request,
+                )
+                from repro.serving import ScoringClient
+
+                with ScoringClient("127.0.0.1", port, tenant="stats") as sc:
+                    res["server_stats"] = sc.stats()
+            except BaseException:
+                server.kill()
+                raise
+            clean[mode] = server.shutdown()
+            results[mode] = res
+            batcher = res["server_stats"].get("batcher", {})
+            rows_out.append(
+                {
+                    "mode": mode,
+                    "requests_ok": res["n_ok"],
+                    "rejected": res["measured_rejections"],
+                    "wall_s": res["wall_s"],
+                    "requests_per_s": res["n_ok"] / res["wall_s"],
+                    "p50_ms": res["p50_ms"],
+                    "p99_ms": res["p99_ms"],
+                    "batches": batcher.get("batches", 0),
+                    "batch_rows_mean": round(batcher.get("batch_rows_mean", 0.0), 1),
+                    "identical": res["mismatched"] == 0 and res["hot_mismatched"] == 0,
+                }
+            )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    by_mode = {r["mode"]: r for r in rows_out}
+    parity_ok = all(r["identical"] for r in rows_out)
+    limited_rejections = sum(  # repro: allow[unordered-accumulation] -- int counts
+        r["hot_rejections"] for r in results.values()
+    )
+    measured_rejections = sum(  # repro: allow[unordered-accumulation] -- int counts
+        r["measured_rejections"] for r in results.values()
+    )
+    rate_limit_ok = limited_rejections >= 1 and measured_rejections == 0
+    clean_shutdown = all(clean.values())
+    throughput_speedup = (
+        by_mode["micro-batch"]["requests_per_s"]
+        / by_mode["per-request"]["requests_per_s"]
+    )
+    meta = {
+        "config": cfg.describe(),
+        "benchmark": "service",
+        "n_train": n_train,
+        "n_features": n_features,
+        "n_models": n_models,
+        "n_trees": n_trees,
+        "forest_subsample": forest_subsample,
+        "requests": requests,
+        "rows_per_request": rows_per_request,
+        "clients": clients,
+        "hot_requests": hot_requests,
+        "batch_wait_ms": batch_wait_ms,
+        "seed": seed,
+        "artifact_bytes": artifact_bytes,
+        "server_args": {m: common_args + a for m, a in modes.items()},
+        "throughput_speedup": throughput_speedup,
+        "batch_rows_mean": by_mode["micro-batch"]["batch_rows_mean"],
+        "limited_tenant_rejections": limited_rejections,
+        "limited_tenant_codes": sorted(
+            {c for r in results.values() for c in r["hot_rejection_codes"]}
+        ),
+        "measured_tenant_rejections": measured_rejections,
+        "parity_ok": bool(parity_ok),
+        "rate_limit_ok": bool(rate_limit_ok),
+        "clean_shutdown": bool(clean_shutdown),
+        "gates_ok": bool(parity_ok and rate_limit_ok and clean_shutdown),
         "host": _host_meta(),
     }
     return rows_out, meta

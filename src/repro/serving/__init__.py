@@ -1,0 +1,80 @@
+"""The serving plane: an online micro-batching scoring service.
+
+Turns the batch scoring library into a long-lived, stdlib-only network
+service. The pieces compose in request order:
+
+- :mod:`repro.serving.protocol` — length-prefixed JSON/npy frames with
+  bounded sizes (the wire format);
+- :mod:`repro.serving.admission` — per-tenant token buckets,
+  queue-depth shedding, deadline sanity (who gets in);
+- :mod:`repro.serving.batcher` — request coalescing into micro-batches
+  sized by :class:`~repro.scheduling.TelemetryRefinedCostModel`
+  forecasts with measured-latency feedback (how work is shaped);
+- :mod:`repro.serving.server` — the asyncio acceptor/executor server
+  with SIGTERM drain (the process);
+- :mod:`repro.serving.client` — a blocking client for drivers, tests,
+  and ops scripts.
+
+Batched scores are bitwise-identical to per-request offline
+``decision_function`` calls: the scoring path is row-separable end to
+end (the invariant the memory plane's out-of-core mode already pins),
+so coalescing changes the execution grain, never the bytes.
+
+Entry points: ``python -m repro serve`` runs a server around a saved
+v2 ensemble artifact; ``python -m repro service`` benchmarks the
+micro-batched service against per-request scoring and gates parity.
+"""
+
+from repro.serving.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    MAX_HEADER_BYTES,
+    IncompleteFrame,
+    PayloadTooLarge,
+    ProtocolError,
+    decode_array,
+    encode_array,
+    encode_frame,
+    read_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from repro.serving.batcher import (
+    BatchedScore,
+    CostModelBatchPolicy,
+    DeadlineExpired,
+    MicroBatcher,
+)
+from repro.serving.server import ScoringServer, ServerConfig, ServerThread
+from repro.serving.client import ScoreReply, ScoringClient, ServiceRejection
+
+__all__ = [
+    "DEFAULT_MAX_PAYLOAD",
+    "MAX_HEADER_BYTES",
+    "IncompleteFrame",
+    "PayloadTooLarge",
+    "ProtocolError",
+    "decode_array",
+    "encode_array",
+    "encode_frame",
+    "read_frame",
+    "read_frame_sync",
+    "write_frame_sync",
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+    "BatchedScore",
+    "CostModelBatchPolicy",
+    "DeadlineExpired",
+    "MicroBatcher",
+    "ScoringServer",
+    "ServerConfig",
+    "ServerThread",
+    "ScoreReply",
+    "ScoringClient",
+    "ServiceRejection",
+]

@@ -1,0 +1,185 @@
+"""Admission control: who gets into the scoring queue, and who is shed.
+
+The serving plane makes overload behaviour an explicit, measurable
+policy instead of an emergent property of buffer sizes. Three gates run
+*before* a request touches the batcher, in order:
+
+1. **Queue-depth shedding** — when the number of queued rows already
+   exceeds ``max_queue_rows``, the request is rejected with a
+   503-style ``queue_full``. Shedding at the door keeps queueing delay
+   bounded: a request that would wait longer than its deadline is
+   cheaper to reject now than to score late.
+2. **Per-tenant rate limiting** — each tenant draws from its own
+   :class:`TokenBucket` (``rate`` tokens/s, ``burst`` capacity, one
+   token per request plus ``cost_per_row`` per row). A drained bucket
+   rejects with a 429-style ``rate_limited``; other tenants are
+   unaffected.
+3. **Deadline sanity** — a request whose ``deadline_ms`` budget is
+   already smaller than the configured floor is rejected up front with
+   ``deadline_too_tight`` rather than queued to certainly expire.
+
+All decisions are returned as :class:`AdmissionDecision` records (the
+server maps them onto response status codes) and tallied per tenant in
+:meth:`AdmissionController.stats` so rejections are observable, never
+silent. Buckets take an injectable monotonic clock, making every policy
+deterministic under test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity.
+
+    The bucket starts full. ``try_acquire`` refills lazily from the
+    injected monotonic clock and either debits the full cost or leaves
+    the level untouched — no partial debits, so a rejected request does
+    not slow the tenant's refill down.
+    """
+
+    def __init__(self, rate: float, burst: float, *, clock=time.monotonic):
+        if rate <= 0.0 or burst <= 0.0:
+            raise ValueError("rate and burst must be > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._level = self.burst
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0.0:
+            self._level = min(self.burst, self._level + elapsed * self.rate)
+        self._last = now
+
+    @property
+    def level(self) -> float:
+        """Current token level (after a lazy refill)."""
+        self._refill(self._clock())
+        return self._level
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Debit ``tokens`` if available; ``False`` (and no debit) if not."""
+        self._refill(self._clock())
+        if tokens <= self._level:
+            self._level -= tokens
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``code`` follows HTTP conventions so clients and logs need no local
+    legend: 200 admitted, 429 rate-limited, 503 queue-full/draining,
+    400 deadline-too-tight.
+    """
+
+    admitted: bool
+    code: int = 200
+    reason: str = "ok"
+
+
+_ADMITTED = AdmissionDecision(True)
+
+
+class AdmissionController:
+    """Per-tenant token buckets + global queue-depth shedding.
+
+    Parameters
+    ----------
+    rate, burst : float
+        Default bucket for any tenant without an explicit override.
+    tenant_limits : dict[str, tuple[float, float]] or None
+        Per-tenant ``(rate, burst)`` overrides — the knob that lets one
+        noisy tenant be throttled without touching the rest.
+    max_queue_rows : int
+        Reject new work once this many rows are already queued.
+    cost_per_row : float
+        Extra tokens per request row (0 = per-request limiting only).
+    min_deadline_ms : float
+        Floor under which a request's declared deadline is hopeless.
+    clock : callable
+        Monotonic clock shared by every bucket (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float = 1000.0,
+        burst: float = 2000.0,
+        tenant_limits: dict[str, tuple[float, float]] | None = None,
+        max_queue_rows: int = 65536,
+        cost_per_row: float = 0.0,
+        min_deadline_ms: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if max_queue_rows < 1:
+            raise ValueError("max_queue_rows must be >= 1")
+        self.default_rate = float(rate)
+        self.default_burst = float(burst)
+        self.tenant_limits = dict(tenant_limits or {})
+        self.max_queue_rows = int(max_queue_rows)
+        self.cost_per_row = float(cost_per_row)
+        self.min_deadline_ms = float(min_deadline_ms)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._admitted: dict[str, int] = {}
+        self._rejected: dict[str, dict[str, int]] = {}
+
+    def bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            rate, burst = self.tenant_limits.get(
+                tenant, (self.default_rate, self.default_burst)
+            )
+            bucket = TokenBucket(rate, burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _reject(self, tenant: str, code: int, reason: str) -> AdmissionDecision:
+        per_tenant = self._rejected.setdefault(tenant, {})
+        per_tenant[reason] = per_tenant.get(reason, 0) + 1
+        return AdmissionDecision(False, code, reason)
+
+    def admit(
+        self,
+        tenant: str,
+        rows: int,
+        queued_rows: int,
+        deadline_ms: float | None = None,
+    ) -> AdmissionDecision:
+        """Run the three gates for one request; tally the outcome."""
+        if queued_rows + rows > self.max_queue_rows:
+            return self._reject(tenant, 503, "queue_full")
+        if deadline_ms is not None and deadline_ms < self.min_deadline_ms:
+            return self._reject(tenant, 400, "deadline_too_tight")
+        cost = 1.0 + self.cost_per_row * rows
+        if not self.bucket_for(tenant).try_acquire(cost):
+            return self._reject(tenant, 429, "rate_limited")
+        self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+        return _ADMITTED
+
+    def stats(self) -> dict:
+        """Per-tenant admitted/rejected tallies (JSON-ready)."""
+        tenants = sorted(set(self._admitted) | set(self._rejected))
+        return {
+            "tenants": {
+                t: {
+                    "admitted": self._admitted.get(t, 0),
+                    "rejected": dict(sorted(self._rejected.get(t, {}).items())),
+                }
+                for t in tenants
+            },
+            "max_queue_rows": self.max_queue_rows,
+        }

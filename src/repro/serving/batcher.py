@@ -1,0 +1,375 @@
+"""Request coalescing: the micro-batcher and its cost-model size policy.
+
+Scoring one request at a time pays the full plan overhead (projection
+dispatch, schedule, execute, combine) per request; the PR 5 kernels
+showed the 2.5–5.6x regime lives at serving-batch sizes. The batcher
+closes that gap: admitted requests queue, and an executor loop drains
+them into micro-batches that are scored through **one**
+``decision_function`` call. Because the whole scoring path is
+row-separable (the property the memory plane's out-of-core mode pins
+bitwise), splitting the batch's score vector back per request returns
+exactly the bytes each request would have received scored alone.
+
+A batch closes on whichever comes first:
+
+- **size target** — :class:`CostModelBatchPolicy` forecasts how many
+  rows fit inside ``target_latency_s`` using a
+  :class:`~repro.scheduling.TelemetryRefinedCostModel` EMA of measured
+  per-row scoring seconds, fed back after every executed batch;
+- **deadline** — the oldest request's ``max_wait_s`` window expires, or
+  a queued request's absolute deadline (minus the forecast execution
+  time) would otherwise be missed.
+
+Requests whose deadline has already passed when the batch is drained
+fail fast with :class:`DeadlineExpired` instead of wasting executor
+time. Execution runs on a single worker thread: scoring mutates model
+state (plan caches, telemetry), so batches serialize, while the event
+loop stays free to accept and queue the next wave.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.scheduling import TelemetryRefinedCostModel
+
+__all__ = [
+    "BatchedScore",
+    "CostModelBatchPolicy",
+    "DeadlineExpired",
+    "MicroBatcher",
+    "PendingRequest",
+]
+
+
+class DeadlineExpired(Exception):
+    """The request's deadline passed while it waited in the queue."""
+
+
+class CostModelBatchPolicy:
+    """Batch-size targets from telemetry-refined per-row cost forecasts.
+
+    The policy keys every observation under one stable identity
+    (``('serve', 'score')``) with the batch's row count as the weight,
+    so the underlying EMA stores measured *seconds per row* regardless
+    of how batch sizes drift. ``target_rows`` inverts that rate: the
+    largest batch whose forecast execution time fits inside
+    ``target_latency_s``, clamped to ``[min_rows, max_rows]``.
+
+    Cold start returns ``max_rows``: with no measurements yet the
+    optimistic cap costs one possibly-slow first batch and immediately
+    yields the observation that calibrates every later one.
+    """
+
+    KEY = ("serve", "score")
+
+    def __init__(
+        self,
+        *,
+        target_latency_s: float = 0.05,
+        min_rows: int = 1,
+        max_rows: int = 4096,
+        cost_model: TelemetryRefinedCostModel | None = None,
+        smoothing: float = 0.3,
+    ):
+        if target_latency_s <= 0.0:
+            raise ValueError("target_latency_s must be > 0")
+        if not 1 <= min_rows <= max_rows:
+            raise ValueError("need 1 <= min_rows <= max_rows")
+        self.target_latency_s = float(target_latency_s)
+        self.min_rows = int(min_rows)
+        self.max_rows = int(max_rows)
+        self.cost_model = cost_model or TelemetryRefinedCostModel(
+            smoothing=smoothing
+        )
+
+    def seconds_per_row(self) -> float | None:
+        """The EMA of measured per-row seconds, or ``None`` pre-observation."""
+        if not self.cost_model.has_observations([self.KEY]):
+            return None
+        # refine() returns ema * weight for observed keys; weight 1 row
+        # recovers the per-row rate through the public CostModel API.
+        rate = self.cost_model.refine([0.0], keys=[self.KEY], weights=[1.0])
+        return float(rate[0])
+
+    def forecast_s(self, rows: int) -> float:
+        """Forecast execution seconds for a ``rows``-row batch (0 cold)."""
+        rate = self.seconds_per_row()
+        return 0.0 if rate is None else rate * max(0, int(rows))
+
+    def target_rows(self) -> int:
+        rate = self.seconds_per_row()
+        if rate is None or rate <= 0.0:
+            return self.max_rows
+        return max(self.min_rows, min(self.max_rows, int(self.target_latency_s / rate)))
+
+    def observe(self, rows: int, duration_s: float) -> None:
+        """Fold one executed batch's measured wall time into the EMA."""
+        if rows > 0:
+            self.cost_model.observe(
+                [duration_s], keys=[self.KEY], weights=[float(rows)]
+            )
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting for a batch slot."""
+
+    request_id: int
+    tenant: str
+    rows: np.ndarray
+    future: asyncio.Future
+    enqueue_t: float
+    deadline_t: float | None = None
+
+
+@dataclass(frozen=True)
+class BatchedScore:
+    """What a resolved request future carries back to the connection."""
+
+    scores: np.ndarray
+    batch_rows: int
+    batch_requests: int
+    queue_s: float
+    exec_s: float
+
+
+@dataclass
+class BatcherStats:
+    """Counters the server surfaces through its ``stats`` op."""
+
+    batches: int = 0
+    served_requests: int = 0
+    served_rows: int = 0
+    expired_requests: int = 0
+    failed_requests: int = 0
+    exec_s_total: float = 0.0
+    batch_rows_max: int = 0
+    target_rows_last: int = 0
+
+    def to_dict(self) -> dict:
+        mean = self.served_rows / self.batches if self.batches else 0.0
+        return {
+            "batches": self.batches,
+            "served_requests": self.served_requests,
+            "served_rows": self.served_rows,
+            "expired_requests": self.expired_requests,
+            "failed_requests": self.failed_requests,
+            "exec_s_total": self.exec_s_total,
+            "batch_rows_mean": mean,
+            "batch_rows_max": self.batch_rows_max,
+            "target_rows_last": self.target_rows_last,
+        }
+
+
+@dataclass
+class _Queue:
+    pending: deque = field(default_factory=deque)
+    rows: int = 0
+
+
+class MicroBatcher:
+    """Coalesces queued requests into micro-batches behind one executor.
+
+    Parameters
+    ----------
+    score_fn : callable
+        ``(rows_matrix) -> scores`` — typically a loaded ensemble's
+        ``decision_function``. Runs on the single executor thread.
+    policy : CostModelBatchPolicy
+        Supplies size targets and receives latency feedback.
+    max_wait_s : float
+        Longest a batch stays open waiting for more rows after its
+        first request arrives (0 = close immediately: per-request mode).
+    clock : callable
+        Monotonic clock (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        score_fn,
+        *,
+        policy: CostModelBatchPolicy | None = None,
+        max_wait_s: float = 0.005,
+        clock=time.monotonic,
+    ):
+        if max_wait_s < 0.0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.score_fn = score_fn
+        self.policy = policy or CostModelBatchPolicy()
+        self.max_wait_s = float(max_wait_s)
+        self.stats = BatcherStats()
+        self._clock = clock
+        self._queue = _Queue()
+        self._wake: asyncio.Event | None = None
+        self._closing = False
+        self._runner: asyncio.Task | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-exec"
+        )
+        self._next_id = 0
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        if self._runner is not None:
+            raise RuntimeError("batcher already started")
+        self._wake = asyncio.Event()
+        self._runner = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self) -> None:
+        """Drain: stop accepting, score everything queued, then stop."""
+        self._closing = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._runner is not None:
+            await self._runner
+            self._runner = None
+        self._executor.shutdown(wait=True)
+
+    @property
+    def queued_rows(self) -> int:
+        return self._queue.rows
+
+    @property
+    def queued_requests(self) -> int:
+        return len(self._queue.pending)
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        rows: np.ndarray,
+        *,
+        tenant: str = "default",
+        deadline_s: float | None = None,
+    ) -> asyncio.Future:
+        """Queue an admitted request; the future resolves to
+        :class:`BatchedScore` (or :class:`DeadlineExpired`)."""
+        if self._wake is None:
+            raise RuntimeError("batcher is not started")
+        if self._closing:
+            raise RuntimeError("batcher is draining")
+        now = self._clock()
+        self._next_id += 1
+        req = PendingRequest(
+            request_id=self._next_id,
+            tenant=tenant,
+            rows=rows,
+            future=asyncio.get_running_loop().create_future(),
+            enqueue_t=now,
+            deadline_t=None if deadline_s is None else now + deadline_s,
+        )
+        self._queue.pending.append(req)
+        self._queue.rows += int(rows.shape[0])
+        self._wake.set()
+        return req.future
+
+    # -- the batch loop -------------------------------------------------
+    def _close_by(self, first: PendingRequest, target: int) -> float:
+        """When the currently-open batch must close, whatever its size."""
+        close_by = first.enqueue_t + self.max_wait_s
+        deadlines = [
+            r.deadline_t for r in self._queue.pending if r.deadline_t is not None
+        ]
+        if deadlines:
+            # Close early enough that the forecast execution still lands
+            # inside the tightest queued deadline.
+            exec_forecast = self.policy.forecast_s(min(target, self._queue.rows))
+            close_by = min(close_by, min(deadlines) - exec_forecast)
+        return close_by
+
+    def _take_batch(self, target: int, now: float) -> list[PendingRequest]:
+        """Drain whole requests up to ``target`` rows, expiring stale ones."""
+        batch: list[PendingRequest] = []
+        rows = 0
+        while self._queue.pending:
+            req = self._queue.pending[0]
+            n = int(req.rows.shape[0])
+            if req.deadline_t is not None and req.deadline_t < now:
+                self._queue.pending.popleft()
+                self._queue.rows -= n
+                self.stats.expired_requests += 1
+                if not req.future.done():
+                    req.future.set_exception(
+                        DeadlineExpired(
+                            f"request {req.request_id} expired after "
+                            f"{now - req.enqueue_t:.3f}s in queue"
+                        )
+                    )
+                continue
+            if batch and rows + n > target:
+                break
+            self._queue.pending.popleft()
+            self._queue.rows -= n
+            batch.append(req)
+            rows += n
+        return batch
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._queue.pending:
+                if self._closing:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            first = self._queue.pending[0]
+            target = max(1, self.policy.target_rows())
+            self.stats.target_rows_last = target
+            close_by = self._close_by(first, target)
+            while not self._closing and self._queue.rows < target:
+                remaining = close_by - self._clock()
+                if remaining <= 0.0:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+            now = self._clock()
+            batch = self._take_batch(target, now)
+            if not batch:
+                continue
+            await self._execute(loop, batch, now)
+
+    async def _execute(self, loop, batch: list[PendingRequest], drained_t: float):
+        arrays = [req.rows for req in batch]
+        stacked = arrays[0] if len(arrays) == 1 else np.vstack(arrays)
+        t0 = self._clock()
+        try:
+            scores = await loop.run_in_executor(
+                self._executor, self.score_fn, stacked
+            )
+        except Exception as exc:
+            self.stats.failed_requests += len(batch)
+            for req in batch:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        exec_s = self._clock() - t0
+        rows = int(stacked.shape[0])
+        self.policy.observe(rows, exec_s)
+        self.stats.batches += 1
+        self.stats.served_requests += len(batch)
+        self.stats.served_rows += rows
+        self.stats.exec_s_total += exec_s
+        self.stats.batch_rows_max = max(self.stats.batch_rows_max, rows)
+        offset = 0
+        for req in batch:
+            n = int(req.rows.shape[0])
+            result = BatchedScore(
+                scores=scores[offset : offset + n],
+                batch_rows=rows,
+                batch_requests=len(batch),
+                queue_s=drained_t - req.enqueue_t,
+                exec_s=exec_s,
+            )
+            offset += n
+            if not req.future.done():
+                req.future.set_result(result)

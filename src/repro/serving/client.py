@@ -1,0 +1,174 @@
+"""Blocking client for the scoring service.
+
+Deliberately synchronous and dependency-free: benchmark drivers spawn
+one per thread, tests drive exact byte sequences, and operational
+scripts need nothing but the stdlib ``socket`` module. One client holds
+one connection; requests on a connection are answered in submission
+order by id.
+
+Rejections are *data*, not exceptions: admission control is part of the
+service contract, so :meth:`ScoringClient.score` returns a
+:class:`ScoreReply` whose ``status``/``code``/``error`` mirror the
+response header, and only transport-level failures raise. Callers that
+want throw-on-reject semantics use :meth:`ScoreReply.require_ok`.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    decode_array,
+    encode_array,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+__all__ = ["ScoreReply", "ScoringClient", "ServiceRejection"]
+
+
+class ServiceRejection(RuntimeError):
+    """Raised by :meth:`ScoreReply.require_ok` on a non-ok reply."""
+
+    def __init__(self, reply: "ScoreReply"):
+        super().__init__(
+            f"request {reply.request_id} rejected: "
+            f"{reply.code} {reply.error or reply.status}"
+        )
+        self.reply = reply
+
+
+@dataclass
+class ScoreReply:
+    """One response frame, decoded."""
+
+    request_id: int | None
+    status: str
+    code: int = 200
+    error: str | None = None
+    detail: str | None = None
+    scores: np.ndarray | None = None
+    header: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def require_ok(self) -> "ScoreReply":
+        if not self.ok:
+            raise ServiceRejection(self)
+        return self
+
+
+class ScoringClient:
+    """One blocking connection to a :class:`~repro.serving.ScoringServer`.
+
+    Parameters mirror the request header fields: ``tenant`` stamps every
+    request (admission buckets key on it), ``deadline_ms`` is a default
+    per-request budget, ``timeout`` bounds every socket operation.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+        timeout: float = 30.0,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+        self.deadline_ms = deadline_ms
+        self.timeout = timeout
+        self.max_payload = max_payload
+        self._sock: socket.socket | None = None
+        self._next_id = 0
+
+    # -- connection -----------------------------------------------------
+    def connect(self) -> "ScoringClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ScoringClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def sock(self) -> socket.socket:
+        if self._sock is None:
+            raise RuntimeError("client is not connected (call connect())")
+        return self._sock
+
+    # -- requests -------------------------------------------------------
+    def _request(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
+        self.connect()
+        write_frame_sync(self.sock, header, payload)
+        return read_frame_sync(self.sock, max_payload=self.max_payload)
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def ping(self) -> bool:
+        header, _ = self._request({"op": "ping", "id": self._take_id()})
+        return header.get("status") == "ok"
+
+    def stats(self) -> dict:
+        header, _ = self._request({"op": "stats", "id": self._take_id()})
+        return header.get("stats", {})
+
+    def score(
+        self,
+        X,
+        *,
+        deadline_ms: float | None = None,
+        tenant: str | None = None,
+    ) -> ScoreReply:
+        """Submit one scoring request and wait for its reply.
+
+        Rows are shipped as float64 ``.npy`` bytes — the exact dtype the
+        server scores, so the bytes that come back are the bytes an
+        offline ``decision_function`` call would have produced.
+        """
+        rows = np.ascontiguousarray(np.asarray(X), dtype=np.float64)
+        request_id = self._take_id()
+        header = {
+            "op": "score",
+            "id": request_id,
+            "tenant": self.tenant if tenant is None else tenant,
+        }
+        effective_deadline = (
+            self.deadline_ms if deadline_ms is None else deadline_ms
+        )
+        if effective_deadline is not None:
+            header["deadline_ms"] = float(effective_deadline)
+        reply_header, payload = self._request(header, encode_array(rows))
+        return ScoreReply(
+            request_id=reply_header.get("id", request_id),
+            status=str(reply_header.get("status", "error")),
+            code=int(reply_header.get("code", 200)),
+            error=reply_header.get("error"),
+            detail=reply_header.get("detail"),
+            scores=decode_array(payload) if payload else None,
+            header=reply_header,
+        )

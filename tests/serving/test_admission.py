@@ -1,0 +1,111 @@
+"""Admission policy under a fake clock: buckets, shedding, tallies."""
+
+import pytest
+
+from repro.serving.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire(2.0)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_level_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=5.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.level == 5.0
+
+    def test_rejection_does_not_debit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert not bucket.try_acquire(5.0)
+        assert bucket.level == 2.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=-1.0)
+
+
+class TestAdmissionController:
+    def _controller(self, **kwargs):
+        kwargs.setdefault("clock", FakeClock())
+        return AdmissionController(**kwargs)
+
+    def test_admits_within_limits(self):
+        decision = self._controller().admit("a", rows=8, queued_rows=0)
+        assert decision.admitted and decision.code == 200
+
+    def test_queue_shedding_is_first_gate(self):
+        """A full queue sheds even requests that would also be throttled."""
+        ctrl = self._controller(rate=1.0, burst=1.0, max_queue_rows=10)
+        ctrl.admit("a", rows=1, queued_rows=0)  # drain a's bucket
+        decision = ctrl.admit("a", rows=8, queued_rows=5)
+        assert (decision.code, decision.reason) == (503, "queue_full")
+
+    def test_deadline_floor(self):
+        decision = self._controller(min_deadline_ms=1.0).admit(
+            "a", rows=1, queued_rows=0, deadline_ms=0.25
+        )
+        assert (decision.code, decision.reason) == (400, "deadline_too_tight")
+
+    def test_rate_limit_is_per_tenant(self):
+        clock = FakeClock()
+        ctrl = self._controller(
+            rate=1000.0,
+            burst=1000.0,
+            tenant_limits={"hot": (1.0, 1.0)},
+            clock=clock,
+        )
+        assert ctrl.admit("hot", rows=1, queued_rows=0).admitted
+        hot = ctrl.admit("hot", rows=1, queued_rows=0)
+        assert (hot.code, hot.reason) == (429, "rate_limited")
+        # An unthrottled tenant is untouched by hot's drained bucket.
+        assert ctrl.admit("cold", rows=1, queued_rows=0).admitted
+        clock.advance(1.0)  # hot refills at 1 req/s
+        assert ctrl.admit("hot", rows=1, queued_rows=0).admitted
+
+    def test_cost_per_row(self):
+        ctrl = self._controller(rate=1.0, burst=11.0, cost_per_row=1.0)
+        assert ctrl.admit("a", rows=10, queued_rows=0).admitted  # 11 tokens
+        assert not ctrl.admit("a", rows=1, queued_rows=0).admitted
+
+    def test_stats_tally_every_outcome(self):
+        ctrl = self._controller(tenant_limits={"hot": (1.0, 1.0)})
+        ctrl.admit("hot", rows=1, queued_rows=0)
+        ctrl.admit("hot", rows=1, queued_rows=0)
+        ctrl.admit("hot", rows=1, queued_rows=0, deadline_ms=0.0)
+        stats = ctrl.stats()["tenants"]["hot"]
+        assert stats["admitted"] == 1
+        assert stats["rejected"] == {
+            "deadline_too_tight": 1,
+            "rate_limited": 1,
+        }

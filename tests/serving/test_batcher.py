@@ -1,0 +1,170 @@
+"""Micro-batcher behaviour: coalescing, deadlines, drain, feedback."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving.batcher import (
+    CostModelBatchPolicy,
+    DeadlineExpired,
+    MicroBatcher,
+)
+
+
+def _score(X):
+    """A row-separable stand-in for decision_function."""
+    return np.asarray(X)[:, 0] * 2.0
+
+
+def _rows(*values):
+    return np.asarray([[float(v), 0.0] for v in values])
+
+
+class TestCostModelBatchPolicy:
+    def test_cold_start_targets_max_rows(self):
+        policy = CostModelBatchPolicy(max_rows=256)
+        assert policy.seconds_per_row() is None
+        assert policy.target_rows() == 256
+        assert policy.forecast_s(100) == 0.0
+
+    def test_observation_sets_per_row_rate(self):
+        policy = CostModelBatchPolicy(target_latency_s=0.1, max_rows=10_000)
+        policy.observe(rows=100, duration_s=0.2)  # 2 ms/row
+        assert policy.seconds_per_row() == pytest.approx(0.002)
+        assert policy.forecast_s(50) == pytest.approx(0.1)
+        assert policy.target_rows() == 50  # 0.1 s / 2 ms
+
+    def test_target_clamped_to_bounds(self):
+        policy = CostModelBatchPolicy(
+            target_latency_s=0.1, min_rows=4, max_rows=8
+        )
+        policy.observe(rows=10, duration_s=10.0)  # 1 s/row -> wants 0
+        assert policy.target_rows() == 4
+        policy = CostModelBatchPolicy(target_latency_s=10.0, max_rows=8)
+        policy.observe(rows=10, duration_s=0.001)  # wants millions
+        assert policy.target_rows() == 8
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CostModelBatchPolicy(target_latency_s=0.0)
+        with pytest.raises(ValueError):
+            CostModelBatchPolicy(min_rows=9, max_rows=8)
+
+
+class TestMicroBatcher:
+    def test_concurrent_requests_coalesce_into_one_batch(self, run_async):
+        async def scenario():
+            batcher = MicroBatcher(_score, max_wait_s=0.2)
+            await batcher.start()
+            futures = [
+                batcher.submit(_rows(1, 2), tenant="a"),
+                batcher.submit(_rows(3), tenant="b"),
+                batcher.submit(_rows(4, 5, 6), tenant="a"),
+            ]
+            results = await asyncio.gather(*futures)
+            await batcher.close()
+            return results, batcher.stats
+
+        results, stats = run_async(scenario())
+        assert [r.batch_requests for r in results] == [3, 3, 3]
+        assert [r.batch_rows for r in results] == [6, 6, 6]
+        assert stats.batches == 1 and stats.served_requests == 3
+        # Each future gets exactly its own slice of the batch scores.
+        np.testing.assert_array_equal(results[0].scores, [2.0, 4.0])
+        np.testing.assert_array_equal(results[1].scores, [6.0])
+        np.testing.assert_array_equal(results[2].scores, [8.0, 10.0, 12.0])
+
+    def test_max_rows_one_degrades_to_per_request(self, run_async):
+        async def scenario():
+            batcher = MicroBatcher(
+                _score,
+                policy=CostModelBatchPolicy(max_rows=1),
+                max_wait_s=0.0,
+            )
+            await batcher.start()
+            futures = [batcher.submit(_rows(i)) for i in range(4)]
+            results = await asyncio.gather(*futures)
+            await batcher.close()
+            return results, batcher.stats
+
+        results, stats = run_async(scenario())
+        assert stats.batches == 4
+        assert all(r.batch_requests == 1 for r in results)
+
+    def test_expired_deadline_fails_fast(self, run_async):
+        async def scenario():
+            batcher = MicroBatcher(_score, max_wait_s=0.2)
+            await batcher.start()
+            doomed = batcher.submit(_rows(1), deadline_s=-0.001)
+            healthy = batcher.submit(_rows(2))
+            result = await healthy
+            with pytest.raises(DeadlineExpired):
+                await doomed
+            await batcher.close()
+            return result, batcher.stats
+
+        result, stats = run_async(scenario())
+        # The expired request never reached the executor; the healthy
+        # one was scored alone.
+        assert result.batch_requests == 1
+        assert stats.expired_requests == 1 and stats.served_requests == 1
+
+    def test_close_drains_queued_requests(self, run_async):
+        async def scenario():
+            batcher = MicroBatcher(_score, max_wait_s=5.0)
+            await batcher.start()
+            futures = [batcher.submit(_rows(i)) for i in range(3)]
+            # close() must not wait out the 5 s window: draining closes
+            # the open batch immediately.
+            await batcher.close()
+            return await asyncio.gather(*futures)
+
+        results = run_async(scenario(), timeout=10.0)
+        assert len(results) == 3
+        assert all(r.scores.shape == (1,) for r in results)
+
+    def test_submit_after_close_is_refused(self, run_async):
+        async def scenario():
+            batcher = MicroBatcher(_score, max_wait_s=0.0)
+            await batcher.start()
+            await batcher.close()
+            batcher.submit(_rows(1))
+
+        with pytest.raises(RuntimeError, match="draining"):
+            run_async(scenario())
+
+    def test_submit_before_start_is_refused(self, run_async):
+        async def scenario():
+            MicroBatcher(_score).submit(_rows(1))
+
+        with pytest.raises(RuntimeError, match="not started"):
+            run_async(scenario())
+
+    def test_scoring_failure_propagates_to_every_request(self, run_async):
+        def broken(X):
+            raise RuntimeError("detector exploded")
+
+        async def scenario():
+            batcher = MicroBatcher(broken, max_wait_s=0.1)
+            await batcher.start()
+            futures = [batcher.submit(_rows(1)), batcher.submit(_rows(2))]
+            outcomes = await asyncio.gather(*futures, return_exceptions=True)
+            await batcher.close()
+            return outcomes, batcher.stats
+
+        outcomes, stats = run_async(scenario())
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+        assert stats.failed_requests == 2 and stats.batches == 0
+
+    def test_latency_feedback_reaches_policy(self, run_async):
+        async def scenario():
+            batcher = MicroBatcher(_score, max_wait_s=0.0)
+            await batcher.start()
+            await batcher.submit(_rows(1, 2, 3))
+            await batcher.close()
+            return batcher.policy
+
+        policy = run_async(scenario())
+        assert policy.seconds_per_row() is not None
+        assert policy.seconds_per_row() > 0.0

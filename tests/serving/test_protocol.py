@@ -1,0 +1,220 @@
+"""Wire-format edge cases: partial frames, bounds, EOF semantics."""
+
+import asyncio
+import io
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serving.protocol import (
+    MAX_HEADER_BYTES,
+    IncompleteFrame,
+    PayloadTooLarge,
+    ProtocolError,
+    decode_array,
+    encode_array,
+    encode_frame,
+    read_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+_PREAMBLE = struct.Struct("<4sIQ")
+
+
+def _reader_with(*chunks, eof=True):
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+class TestAsyncReadFrame:
+    def test_roundtrip(self, run_async):
+        rows = np.arange(12.0).reshape(3, 4)
+        frame = encode_frame({"op": "score", "id": 7}, encode_array(rows))
+
+        async def scenario():
+            return await read_frame(_reader_with(frame))
+
+        header, payload = run_async(scenario())
+        assert header == {"op": "score", "id": 7}
+        np.testing.assert_array_equal(decode_array(payload), rows)
+
+    def test_partial_delivery_byte_by_byte(self, run_async):
+        """A frame trickling in one byte at a time still parses whole."""
+        rows = np.ones((2, 3))
+        frame = encode_frame({"op": "score"}, encode_array(rows))
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+
+            async def drip():
+                for i in range(len(frame)):
+                    reader.feed_data(frame[i : i + 1])
+                    if i % 7 == 0:
+                        await asyncio.sleep(0)
+                reader.feed_eof()
+
+            feed = asyncio.get_running_loop().create_task(drip())
+            result = await read_frame(reader)
+            await feed
+            return result
+
+        header, payload = run_async(scenario())
+        assert header == {"op": "score"}
+        np.testing.assert_array_equal(decode_array(payload), rows)
+
+    def test_two_frames_back_to_back(self, run_async):
+        f1 = encode_frame({"id": 1})
+        f2 = encode_frame({"id": 2}, encode_array(np.zeros((1, 1))))
+
+        async def scenario():
+            reader = _reader_with(f1 + f2)
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        (h1, p1), (h2, p2), tail = run_async(scenario())
+        assert (h1["id"], h2["id"]) == (1, 2)
+        assert p1 == b"" and p2 != b""
+        assert tail is None
+
+    def test_clean_eof_returns_none(self, run_async):
+        async def scenario():
+            return await read_frame(_reader_with())
+
+        assert run_async(scenario()) is None
+
+    def test_eof_mid_preamble(self, run_async):
+        frame = encode_frame({"op": "ping"})
+
+        async def scenario():
+            await read_frame(_reader_with(frame[:5]))
+
+        with pytest.raises(IncompleteFrame) as err:
+            run_async(scenario())
+        assert not err.value.clean_eof
+
+    def test_eof_mid_payload(self, run_async):
+        frame = encode_frame({"op": "score"}, encode_array(np.ones((4, 4))))
+
+        async def scenario():
+            await read_frame(_reader_with(frame[:-3]))
+
+        with pytest.raises(IncompleteFrame):
+            run_async(scenario())
+
+    def test_bad_magic(self, run_async):
+        frame = b"XXXX" + encode_frame({"op": "ping"})[4:]
+
+        async def scenario():
+            await read_frame(_reader_with(frame))
+
+        with pytest.raises(ProtocolError, match="magic"):
+            run_async(scenario())
+
+    def test_oversized_payload_rejected_before_body(self, run_async):
+        """The bound trips on the declared length — no body bytes needed."""
+        declared = 10_000_000
+        preamble = _PREAMBLE.pack(b"RPS1", 2, declared)
+
+        async def scenario():
+            # Only the preamble and header are ever fed; if the reader
+            # tried to buffer the declared body this would hang (and the
+            # watchdog would catch it).
+            await read_frame(_reader_with(preamble + b"{}"), max_payload=1024)
+
+        with pytest.raises(PayloadTooLarge) as err:
+            run_async(scenario())
+        assert err.value.declared == declared
+        assert err.value.limit == 1024
+
+    def test_oversized_header_rejected(self, run_async):
+        preamble = _PREAMBLE.pack(b"RPS1", MAX_HEADER_BYTES + 1, 0)
+
+        async def scenario():
+            await read_frame(_reader_with(preamble))
+
+        with pytest.raises(PayloadTooLarge, match="header"):
+            run_async(scenario())
+
+    def test_header_must_be_json(self, run_async):
+        body = b"not json!!"
+        frame = _PREAMBLE.pack(b"RPS1", len(body), 0) + body
+
+        async def scenario():
+            await read_frame(_reader_with(frame))
+
+        with pytest.raises(ProtocolError, match="JSON"):
+            run_async(scenario())
+
+    def test_header_must_be_object(self, run_async):
+        body = b"[1, 2]"
+        frame = _PREAMBLE.pack(b"RPS1", len(body), 0) + body
+
+        async def scenario():
+            await read_frame(_reader_with(frame))
+
+        with pytest.raises(ProtocolError, match="object"):
+            run_async(scenario())
+
+
+class TestArrayCodec:
+    def test_roundtrip_preserves_dtype_shape_bytes(self):
+        rows = np.linspace(0, 1, 10).reshape(5, 2)
+        out = decode_array(encode_array(rows))
+        assert out.dtype == rows.dtype and out.shape == rows.shape
+        assert out.tobytes() == rows.tobytes()
+
+    def test_pickled_payload_rejected(self):
+        """An object-dtype payload must never deserialise."""
+        buf = io.BytesIO()
+        np.save(buf, np.array([{"a": 1}], dtype=object), allow_pickle=True)
+        with pytest.raises(ProtocolError, match="not a valid .npy"):
+            decode_array(buf.getvalue())
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_array(b"\x00" * 32)
+
+
+class TestSyncFrames:
+    def test_roundtrip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            rows = np.full((3, 2), 7.0)
+            write_frame_sync(left, {"op": "score", "tenant": "t"}, encode_array(rows))
+            header, payload = read_frame_sync(right)
+            assert header["tenant"] == "t"
+            np.testing.assert_array_equal(decode_array(payload), rows)
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_flag(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(IncompleteFrame) as err:
+                read_frame_sync(right)
+            assert err.value.clean_eof
+        finally:
+            right.close()
+
+    def test_truncated_frame_not_clean(self):
+        left, right = socket.socketpair()
+        try:
+            frame = encode_frame({"op": "ping"})
+            left.sendall(frame[:6])
+            left.close()
+            with pytest.raises(IncompleteFrame) as err:
+                read_frame_sync(right)
+            assert not err.value.clean_eof
+        finally:
+            right.close()

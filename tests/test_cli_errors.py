@@ -1,0 +1,114 @@
+"""Operator bad input is exit status 2: one line on stderr, no traceback.
+
+The convention under test: 0 = success, 1 = a gate failed (parity,
+scheduler trajectory, …), 2 = the operator handed the CLI something
+unusable (missing artifact, unwritable --json path, unknown suite).
+Every subcommand funnels these through CLIError in repro.__main__.
+"""
+
+import pytest
+
+from repro.__main__ import BENCH_SUITES, SUBCOMMANDS, main
+
+
+def _assert_exit_2(capsys, argv, needle):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") or err.startswith("analyze:"), err
+    assert needle in err
+    assert "Traceback" not in err
+    assert err.count("\n") == 1  # exactly one line
+
+
+class TestRegistries:
+    def test_every_bench_suite_is_a_subcommand(self):
+        assert set(BENCH_SUITES) <= set(SUBCOMMANDS)
+
+    def test_dispatch_covers_serving_plane(self):
+        assert {"serve", "service", "bench-all"} <= set(SUBCOMMANDS)
+
+
+class TestJsonWriteFailures:
+    def test_unwritable_json_path_exits_2(self, capsys):
+        # schedulers is the cheapest real runner; every subcommand
+        # writes through the same _emit_json helper.
+        _assert_exit_2(
+            capsys,
+            ["schedulers", "--quick", "--json", "/no/such/dir/out.json"],
+            "cannot write JSON",
+        )
+
+    def test_json_dash_still_works(self, capsys):
+        assert main(["schedulers", "--quick", "--json", "-"]) == 0
+        assert '"meta"' in capsys.readouterr().out
+
+
+class TestArtifactPathValidation:
+    def test_memory_rejects_missing_artifact_dir(self, capsys):
+        _assert_exit_2(
+            capsys,
+            ["memory", "--quick", "--artifact-dir", "/no/such/dir"],
+            "--artifact-dir",
+        )
+
+    def test_service_rejects_missing_artifact_dir(self, capsys):
+        _assert_exit_2(
+            capsys,
+            ["service", "--quick", "--artifact-dir", "/no/such/dir"],
+            "--artifact-dir",
+        )
+
+    def test_serve_rejects_missing_artifact(self, capsys):
+        _assert_exit_2(
+            capsys,
+            ["serve", "--artifact", "/no/such/ensemble.repro"],
+            "does not exist",
+        )
+
+
+class TestAnalyzePaths:
+    def test_missing_path_exits_2(self, capsys):
+        _assert_exit_2(
+            capsys,
+            ["analyze", "/no/such/module.py"],
+            "no such file or directory",
+        )
+
+    def test_mixed_missing_paths_all_reported(self, capsys):
+        assert main(["analyze", "src/repro/serving", "/missing/a", "/missing/b"]) == 2
+        err = capsys.readouterr().err
+        assert "/missing/a" in err and "/missing/b" in err
+
+
+class TestBenchAllValidation:
+    def test_unknown_only_suite(self, capsys):
+        _assert_exit_2(capsys, ["bench-all", "--only", "nope"], "unknown suite")
+
+    def test_unknown_skip_suite(self, capsys):
+        _assert_exit_2(capsys, ["bench-all", "--skip", "nope"], "unknown suite")
+
+    def test_nothing_left_to_run(self, capsys):
+        everything = ",".join(BENCH_SUITES)
+        _assert_exit_2(
+            capsys, ["bench-all", "--skip", everything], "no suites left"
+        )
+
+    def test_uncreatable_json_dir(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("a file, not a directory")
+        _assert_exit_2(
+            capsys,
+            ["bench-all", "--json-dir", str(blocker / "sub")],
+            "--json-dir",
+        )
+
+    def test_list_is_cheap_and_ordered(self, capsys):
+        assert main(["bench-all", "--list"]) == 0
+        assert capsys.readouterr().out.split() == list(BENCH_SUITES)
+
+
+class TestArgparseStillOwnsUsageErrors:
+    def test_unknown_flag_exits_via_argparse(self):
+        with pytest.raises(SystemExit) as err:
+            main(["serve", "--no-such-flag"])
+        assert err.value.code == 2

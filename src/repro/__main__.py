@@ -11,6 +11,7 @@ Usage::
     python -m repro scaling [--quick] [--json out.json]
     python -m repro schedulers [--quick] [--json out.json]
     python -m repro kernels [--quick] [--json out.json]
+    python -m repro sharing [--quick] [--json out.json]
     python -m repro memory [--quick] [--json out.json]
     python -m repro serve --artifact ensemble.repro [--port 9000]
     python -m repro service [--quick] [--json out.json]
@@ -42,6 +43,15 @@ search, per-query ABOD angles) and verifies the outputs bitwise. Exits
 non-zero if any kernel's parity check fails — the gate CI bench-smoke
 enforces. Its JSON output is committed as ``BENCH_pr5.json``.
 
+``sharing`` benchmarks the shared-computation plane: the same pool of
+neighbor detectors fitted with the ``share`` stage folding every
+KD-tree build and query into one producer per ``(space, metric)`` key,
+and again with every detector building privately. Gates on bitwise
+score parity between the two modes and on the build-count invariant
+(one KD-tree per distinct key); the speedup rides along. Exits
+non-zero if either gate fails. Its JSON output is committed as
+``BENCH_pr9.json`` and uploaded by CI bench-smoke.
+
 ``memory`` benchmarks the memory plane: fresh worker processes
 cold-start the same fitted ensemble from its memmap-served arena
 artifact and from the inline rebuild baseline, comparing time-to-first-
@@ -67,7 +77,7 @@ committed as ``BENCH_pr8.json`` and uploaded by the CI
 ``service-smoke`` job.
 
 ``bench-all`` drives every registered benchmark suite (scaling,
-schedulers, kernels, memory, service) through one command, writing
+schedulers, kernels, sharing, memory, service) through one command, writing
 ``bench_<name>.json`` per suite into ``--json-dir`` — the single CI
 bench-smoke step, so new subsystems are picked up by registration
 instead of workflow edits.
@@ -768,6 +778,110 @@ def run_memory_command(argv=None) -> int:
     return 0 if meta["parity_ok"] else 1
 
 
+def run_sharing_command(argv=None) -> int:
+    """``python -m repro sharing``: shared-computation plane benchmark."""
+    from repro.bench.runners import run_sharing_benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sharing",
+        description=(
+            "Benchmark the shared-computation plane: fit the same pool "
+            "of neighbor detectors with the share stage on (one KD-tree "
+            "build and one fused max-k query per distinct (space, "
+            "metric) key) and off (every detector builds and queries "
+            "privately), and report fit/predict walls per backend. "
+            "Gates the prefix-slice parity contract — every score must "
+            "be bitwise-identical between the two modes — and the build "
+            "count (shared fit builds exactly one tree per distinct "
+            "key). Exits non-zero on any parity or build-count failure; "
+            "the JSON rows are the format of BENCH_pr9.json and of the "
+            "CI bench-smoke artifact."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: smaller train/test sets, 2 repeats",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="write rows + meta as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument("--n-train", type=int, default=None)
+    parser.add_argument("--n-test", type=int, default=None)
+    parser.add_argument("--d", type=int, default=None, help="feature count")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--n-jobs", type=int, default=None, help="workers for the threads rows"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    kwargs = {"seed": args.seed}
+    if args.quick:
+        kwargs.update(n_train=2000, n_test=1000, repeats=2)
+    if args.n_train is not None:
+        kwargs["n_train"] = args.n_train
+    if args.n_test is not None:
+        kwargs["n_test"] = args.n_test
+    if args.d is not None:
+        kwargs["n_features"] = args.d
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    if args.n_jobs is not None:
+        kwargs["n_jobs"] = args.n_jobs
+
+    t0 = time.perf_counter()
+    rows, meta = run_sharing_benchmark(get_config(), **kwargs)
+    elapsed = time.perf_counter() - t0
+
+    payload = {"meta": meta, "rows": rows}
+    if args.json_path == "-":
+        _emit_json(payload, "-")
+    else:
+        print(meta["config"])
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "backend",
+                    "n_jobs",
+                    "mode",
+                    "fit_s",
+                    "predict_s",
+                    "total_s",
+                ],
+                title="\nShared-computation plane — fused producers vs redundant",
+            )
+        )
+        sharing = meta["sharing"] or {}
+        print(
+            f"\nfit: {meta['fit_speedup']:.2f}x faster shared "
+            f"(total {meta['total_speedup']:.2f}x); "
+            f"{meta['kdtree_builds_shared']} KD-tree build(s) for "
+            f"{meta['n_detectors']} detectors vs "
+            f"{meta['kdtree_builds_redundant']} redundant "
+            f"({meta['distinct_keys']} distinct key(s))"
+        )
+        print(
+            f"share stage: {sharing.get('n_tasks_before')} -> "
+            f"{sharing.get('n_tasks_after')} tasks, "
+            f"{sharing.get('queries_fused')} queries fused, "
+            f"{sharing.get('bytes_published')} bytes published"
+        )
+        print(
+            f"parity (shared vs redundant bitwise, all backends): "
+            f"{meta['parity_ok']}"
+        )
+        print(f"[sharing done in {elapsed:.1f}s]")
+    if args.json_path and args.json_path != "-":
+        _emit_json(payload, args.json_path)
+    return 0 if meta["gates_ok"] else 1
+
+
 def _parse_tenant_limits(specs) -> dict[str, tuple[float, float]]:
     """``name=rate`` / ``name=rate:burst`` CLI specs into a limits dict."""
     limits: dict[str, tuple[float, float]] = {}
@@ -1150,6 +1264,7 @@ BENCH_SUITES = {
     "scaling": run_scaling_command,
     "schedulers": run_schedulers_command,
     "kernels": run_kernels_command,
+    "sharing": run_sharing_command,
     "memory": run_memory_command,
     "service": run_service_command,
 }
@@ -1160,6 +1275,7 @@ SUBCOMMANDS = {
     "scaling": run_scaling_command,
     "schedulers": run_schedulers_command,
     "kernels": run_kernels_command,
+    "sharing": run_sharing_command,
     "memory": run_memory_command,
     "serve": run_serve_command,
     "service": run_service_command,
@@ -1173,6 +1289,7 @@ _SUBCOMMAND_HELP = {
     "scaling": "Backend scaling benchmark",
     "schedulers": "Scheduler registry listing + ablation",
     "kernels": "Compute-kernel microbenchmarks + parity gate",
+    "sharing": "Shared-computation plane benchmark + parity gate",
     "memory": "Memory-plane benchmark + parity gate",
     "serve": "Online micro-batching scoring server",
     "service": "Serving-plane benchmark + parity gate",

@@ -5,6 +5,7 @@ from repro.analysis.checkers.contracts import ContractsChecker
 from repro.analysis.checkers.freeze import ReferenceFreezeChecker
 from repro.analysis.checkers.lifecycle import LifecycleChecker
 from repro.analysis.checkers.parity import ParityChecker
+from repro.analysis.checkers.sharing import RedundantStructureChecker
 from repro.analysis.registry import register_checker
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "LifecycleChecker",
     "ContractsChecker",
     "ReferenceFreezeChecker",
+    "RedundantStructureChecker",
 ]
 
 for _cls in (
@@ -21,6 +23,7 @@ for _cls in (
     LifecycleChecker,
     ContractsChecker,
     ReferenceFreezeChecker,
+    RedundantStructureChecker,
 ):
     register_checker(_cls.name, _cls)
 del _cls

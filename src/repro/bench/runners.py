@@ -51,6 +51,7 @@ __all__ = [
     "run_plan_overhead",
     "run_backend_scaling",
     "run_kernel_benchmarks",
+    "run_sharing_benchmark",
     "run_memory_benchmark",
     "run_service_benchmark",
 ]
@@ -1143,6 +1144,157 @@ def _cold_start_round(
     for c in pipes:
         c.close()
     return results
+
+
+# ---------------------------------------------------------------------------
+# Shared-computation plane — fused neighbor producers vs redundant builds
+# ---------------------------------------------------------------------------
+def run_sharing_benchmark(
+    cfg: BenchConfig,
+    *,
+    n_train: int = 6000,
+    n_test: int = 3000,
+    n_features: int = 8,
+    repeats: int = 3,
+    n_jobs: int = 4,
+    seed: int = 0,
+):
+    """Shared-computation plane: one KD-tree + fused query vs m private.
+
+    Fits the same pool of neighbor detectors (heterogeneous ``k``, one
+    shared unprojected space) twice per backend — ``share_flag=True``
+    (the ``share`` stage folds every build/query into one producer) and
+    ``share_flag=False`` (each detector builds and queries privately) —
+    and reports best-of-``repeats`` fit/predict walls.
+
+    The gates the CI bench-smoke job enforces ride in the meta:
+
+    - ``parity_ok`` — train score matrix, combined train scores, and
+      the predict score matrix are bitwise-identical between the two
+      modes on every backend (the prefix-slice contract's end-to-end
+      form);
+    - ``builds_ok`` — on the sequential backend the shared fit performs
+      exactly ``distinct_keys`` KD-tree builds (one per distinct
+      ``(space, metric)`` resource key) while the redundant fit
+      performs one per consumer.
+
+    ``fit_speedup``/``total_speedup`` (redundant wall over shared wall)
+    are the headline numbers but are *not* gated — wall-clock on shared
+    CI hosts is informational; BENCH_pr9.json records them from a quiet
+    host.
+    """
+    from repro.detectors import LoOP
+    from repro.neighbors import kdtree_build_count
+
+    Xtr, _ = make_outlier_dataset(
+        n_train, n_features, contamination=0.1, random_state=seed
+    )
+    Xte, _ = make_outlier_dataset(
+        n_test, n_features, contamination=0.1, random_state=seed + 1
+    )
+    n = Xtr.shape[0]
+
+    def make_pool():
+        # Four consumers, heterogeneous k, all resolving to the KD-tree
+        # engine over the same unprojected space -> one resource key.
+        return [
+            KNN(n_neighbors=_safe_k(n, 10)),
+            AvgKNN(n_neighbors=_safe_k(n, 20)),
+            LOF(n_neighbors=_safe_k(n, 25)),
+            LoOP(n_neighbors=_safe_k(n, 15)),
+        ]
+
+    n_detectors = len(make_pool())
+    distinct_keys = 1  # one space, one metric
+    backends = (("sequential", 1), ("threads", n_jobs))
+    rows = []
+    reference: dict = {}
+    builds: dict = {}
+    sharing_info = None
+    parity_ok = True
+    for backend, jobs in backends:
+        for mode, flag in (("shared", True), ("redundant", False)):
+            best_fit = best_pred = float("inf")
+            for _ in range(max(1, repeats)):
+                clf = SUOD(
+                    make_pool(),
+                    n_jobs=jobs,
+                    backend=backend,
+                    share_flag=flag,
+                    rp_flag_global=False,
+                    approx_flag_global=False,
+                    contamination=0.1,
+                    random_state=seed,
+                )
+                b0 = kdtree_build_count()
+                t0 = time.perf_counter()
+                clf.fit(Xtr)
+                fit_s = time.perf_counter() - t0
+                b1 = kdtree_build_count()
+                t0 = time.perf_counter()
+                matrix = clf.decision_function_matrix(Xte)
+                pred_s = time.perf_counter() - t0
+                best_fit = min(best_fit, fit_s)
+                best_pred = min(best_pred, pred_s)
+            if backend == "sequential":
+                builds[mode] = b1 - b0
+                if flag:
+                    sharing_info = clf.sharing_fit_info_
+            key = (backend, "train")
+            if key not in reference:
+                reference[key] = (clf.train_score_matrix_, clf.decision_scores_)
+                reference[(backend, "predict")] = matrix
+            else:
+                ref_matrix, ref_scores = reference[key]
+                parity_ok = (
+                    parity_ok
+                    and np.array_equal(ref_matrix, clf.train_score_matrix_)
+                    and np.array_equal(ref_scores, clf.decision_scores_)
+                    and np.array_equal(reference[(backend, "predict")], matrix)
+                )
+            rows.append(
+                {
+                    "backend": backend,
+                    "n_jobs": jobs,
+                    "mode": mode,
+                    "fit_s": round(best_fit, 4),
+                    "predict_s": round(best_pred, 4),
+                    "total_s": round(best_fit + best_pred, 4),
+                }
+            )
+
+    by_mode = {
+        (r["backend"], r["mode"]): r for r in rows
+    }
+    seq_shared = by_mode[("sequential", "shared")]
+    seq_redundant = by_mode[("sequential", "redundant")]
+    builds_ok = (
+        builds.get("shared") == distinct_keys
+        and builds.get("redundant") == n_detectors
+    )
+    meta = {
+        "config": (
+            f"{n_detectors} neighbor detectors on one ({n_train}, "
+            f"{n_features}) space, best of {repeats}"
+        ),
+        "n_train": n_train,
+        "n_test": n_test,
+        "n_features": n_features,
+        "n_detectors": n_detectors,
+        "distinct_keys": distinct_keys,
+        "kdtree_builds_shared": builds.get("shared"),
+        "kdtree_builds_redundant": builds.get("redundant"),
+        "sharing": sharing_info,
+        "fit_speedup": round(seq_redundant["fit_s"] / seq_shared["fit_s"], 3),
+        "total_speedup": round(
+            seq_redundant["total_s"] / seq_shared["total_s"], 3
+        ),
+        "parity_ok": bool(parity_ok),
+        "builds_ok": bool(builds_ok),
+        "host": _host_meta(),
+    }
+    meta["gates_ok"] = meta["parity_ok"] and meta["builds_ok"]
+    return rows, meta
 
 
 def run_memory_benchmark(

@@ -22,10 +22,17 @@ Architecturally, :class:`SUOD` is a thin façade over
 :mod:`repro.pipeline`: ``fit`` and ``decision_function`` each *compile*
 an :class:`~repro.pipeline.ExecutionPlan` of stages —
 
-    project -> forecast -> schedule -> execute -> approximate -> combine
+    project -> forecast -> share -> schedule -> execute -> approximate
+    -> combine
 
 — and hand it to a :class:`~repro.pipeline.PlanRunner`, the single
-execution path shared by every backend. ``build_fit_plan`` /
+execution path shared by every backend. The ``share`` stage (between
+``forecast`` and ``schedule``) is the plan-level CSE pass: it folds
+redundant neighbor structures into shared producer tasks whose fused
+query results every consuming detector prefix-slices — the execute
+stage then runs a two-wave dependency DAG (producers, then consumers)
+with bitwise-identical scores (:mod:`repro.pipeline.sharing`).
+``build_fit_plan`` /
 ``build_predict_plan`` expose the plans directly (the ``repro plan``
 CLI renders them; partial runs preview forecast costs and the chosen
 assignment without fitting anything). Stage-level telemetry lands in
@@ -55,8 +62,22 @@ from repro.parallel import (
     scatter_chunk_results,
 )
 from repro.pipeline import ExecutionPlan, PlanContext, PlanRunner, Stage
+from repro.pipeline.sharing import (
+    derive_fit_sharing,
+    derive_predict_sharing,
+    fit_one_shared,
+    produce_fit_query,
+    produce_predict_query,
+    score_one_shared,
+    score_slice_shared,
+)
 from repro.projection import JLProjector, NoProjection, jl_target_dim
-from repro.scheduling import AnalyticCostModel, Scheduler, get_scheduler_class
+from repro.scheduling import (
+    AnalyticCostModel,
+    Scheduler,
+    forecast_shared_query,
+    get_scheduler_class,
+)
 from repro.utils.random import check_random_state, spawn_seeds
 from repro.utils.validation import check_array, check_is_fitted
 
@@ -119,6 +140,15 @@ class SUOD:
     approx_clf : regressor prototype or None
         Supervised approximator (cloned per model). Default: the
         library's RandomForestRegressor.
+    share_flag : bool, default True
+        Master switch of the shared-computation plane. When on, the
+        ``share`` plan stage folds neighbor-based detectors that query
+        the same (sub)space with a KD-tree engine into one shared build
+        plus one fused batched query at ``max(k_i)`` (+1 slack at fit);
+        each consumer slices its own ``k_i`` prefix. Scores are
+        bitwise-identical either way (the canonical tie-order contract,
+        pinned by the parity tests); the flag exists to measure the
+        redundant baseline and to disable the rewrite wholesale.
     bps_flag : bool, default True
         Master switch of balanced parallel scheduling (vs generic split).
         Legacy toggle: with ``scheduler=None`` it selects between the
@@ -207,6 +237,7 @@ class SUOD:
         rp_min_samples: int = 30,
         approx_flag_global: bool = True,
         approx_clf=None,
+        share_flag: bool = True,
         bps_flag: bool = True,
         scheduler=None,
         cost_predictor=None,
@@ -251,6 +282,7 @@ class SUOD:
         self.rp_min_samples = rp_min_samples
         self.approx_flag_global = approx_flag_global
         self.approx_clf = approx_clf
+        self.share_flag = share_flag
         self.bps_flag = bps_flag
         self.scheduler = scheduler
         self.cost_predictor = cost_predictor
@@ -402,6 +434,7 @@ class SUOD:
             "n_models": self.n_models,
             "grain": grain,
             "n_tasks": n_tasks,
+            "sharing": self.share_flag,
             "bps": self.bps_flag,
             "scheduler": "single-worker"
             if self.n_jobs == 1
@@ -437,6 +470,11 @@ class SUOD:
                 "forecast",
                 self._stage_forecast,
                 "forecast per-task costs (analytic or learned predictor)",
+            ),
+            Stage(
+                "share",
+                self._fit_stage_share,
+                "fold redundant neighbor structures into shared producers",
             ),
             Stage(
                 "schedule",
@@ -509,6 +547,11 @@ class SUOD:
                 "forecast",
                 self._stage_forecast,
                 "forecast per-task costs (analytic or learned predictor)",
+            ),
+            Stage(
+                "share",
+                self._predict_stage_share,
+                "fold redundant neighbor queries into shared producers",
             ),
             Stage(
                 "schedule",
@@ -593,7 +636,160 @@ class SUOD:
         counts = np.bincount(ctx.assignment, minlength=self.n_jobs)
         info["n_tasks"] = int(ctx.n_tasks)
         info["tasks_per_worker"] = counts.tolist()
+        self._schedule_producers(ctx, info)
         return info
+
+    def _schedule_producers(self, ctx: PlanContext, info: dict) -> None:
+        """Assign the sharing plan's producer wave (first-class tasks).
+
+        Producers get their own assignment, cost forecasts
+        (``ctx.producer_costs``, from the share stage) and stable task
+        keys ``('<kind>-share', qid)``, so the adaptive scheduler
+        arbitrates shared builds against ordinary fit/score tasks on
+        measured durations.
+        """
+        sharing = ctx.get("sharing")
+        if sharing is None or not sharing.active:
+            return
+        n_producers = len(sharing.queries)
+        if self.n_jobs == 1:
+            ctx.producer_assignment = np.zeros(n_producers, dtype=np.int64)
+        else:
+            scheduler = self._make_scheduler()
+            keys = [(f"{ctx.kind}-share", qid) for qid in range(n_producers)]
+            weights = np.array([float(q.n_query) for q in sharing.queries])
+            ctx.producer_task_keys = keys
+            ctx.producer_task_weights = weights
+            ctx.producer_assignment = scheduler.assign(
+                n_producers,
+                self.n_jobs,
+                ctx.get("producer_costs"),
+                task_keys=keys,
+                weights=weights,
+            )
+        info["producer_tasks"] = n_producers
+
+    # -- sharing stages --------------------------------------------------
+    def _stage_share(self, ctx: PlanContext, sharing) -> dict:
+        """Common tail of the fit/predict share stages: record the
+        derived plan, forecast producer costs, report the dedup ledger."""
+        ctx.sharing = sharing
+        info = sharing.summary()
+        if sharing.active and self.n_jobs > 1 and self._make_scheduler().uses_costs:
+            ctx.producer_costs = np.array(
+                [
+                    forecast_shared_query(q.n_index, q.n_query, q.n_features, q.width)
+                    for q in sharing.queries
+                ]
+            )
+        else:
+            ctx.producer_costs = None
+        if sharing.active:
+            self._log(
+                f"sharing: {info['queries_fused']} neighbor tasks folded into "
+                f"{info['structures_built']} shared structure(s)"
+            )
+        return info
+
+    def _fit_stage_share(self, ctx: PlanContext) -> dict:
+        if not self.share_flag:
+            ctx.sharing = None
+            info = {"sharing": "disabled"}
+        else:
+            info = self._stage_share(
+                ctx, derive_fit_sharing(self.base_estimators, ctx.spaces)
+            )
+        self.sharing_fit_info_ = info
+        return info
+
+    def _predict_stage_share(self, ctx: PlanContext) -> dict:
+        if not self.share_flag:
+            ctx.sharing = None
+            info = {"sharing": "disabled"}
+        else:
+            info = self._stage_share(
+                ctx,
+                derive_predict_sharing(self.approximators_, ctx.spaces, ctx.n_tasks),
+            )
+        self.sharing_predict_info_ = info
+        return info
+
+    def _run_producer_wave(self, ctx: PlanContext, backend) -> dict | None:
+        """Wave 0 of the execute DAG: run shared producers, publish results.
+
+        Executes the sharing plan's producer tasks through the same
+        backend/assignment machinery as ordinary tasks, feeds their
+        measured durations to the adaptive scheduler under the producer
+        task keys, and publishes each fused ``(distance, index)`` pair
+        for the consumer wave — into the plan's shm arena as read-only
+        handles when the data plane is active, as in-memory arrays
+        otherwise. Fit-plan producers also return the group's fitted
+        index, kept on the query for post-fit injection.
+        """
+        sharing = ctx.get("sharing")
+        if sharing is None or not sharing.active:
+            return None
+        data = ctx.get("shared_spaces") or ctx.spaces
+        if ctx.kind == "fit":
+            tasks = [
+                functools.partial(
+                    produce_fit_query, data[q.space_index], tuple(q.ks), q.metric
+                )
+                for q in sharing.queries
+            ]
+        else:
+            tasks = [
+                functools.partial(
+                    produce_predict_query, q.index, data[q.space_index], tuple(q.ks)
+                )
+                for q in sharing.queries
+            ]
+        result = backend.execute(tasks, ctx.producer_assignment)
+        result.raise_first_error()
+        if self.n_jobs > 1:
+            scheduler = self._make_scheduler()
+            keys = ctx.get("producer_task_keys")
+            if (
+                scheduler.adaptive
+                and keys is not None
+                and result.task_times.size == len(keys)
+            ):
+                scheduler.observe(
+                    result.task_times,
+                    task_keys=keys,
+                    weights=ctx.get("producer_task_weights"),
+                )
+        arena = ctx.get("arena")
+        published = []
+        bytes_published = 0
+        for query, out in zip(sharing.queries, result.results):
+            if ctx.kind == "fit":
+                query.index, dist, idx = out
+            else:
+                dist, idx = out
+            if arena is not None:
+                pair = (
+                    arena.share(dist, category="neighbors"),
+                    arena.share(idx, category="neighbors"),
+                )
+            else:
+                pair = (dist, idx)
+            bytes_published += dist.nbytes + idx.nbytes
+            published.append(pair)
+        # The fused arrays now live in the arena / on the context; keep
+        # the stage report light (reports survive release_data).
+        result.results = [None] * len(result.results)
+        ctx.shared_neighbors = published
+        ctx.producer_result = result
+        self._log(
+            f"sharing: {len(sharing.queries)} producer(s) in "
+            f"{result.wall_time:.3f}s, {bytes_published} bytes published"
+        )
+        return {
+            "producers": len(sharing.queries),
+            "producer_wall_s": result.wall_time,
+            "bytes_published": bytes_published,
+        }
 
     # -- fit stages ------------------------------------------------------
     def _fit_stage_project(self, ctx: PlanContext) -> dict:
@@ -646,25 +842,51 @@ class SUOD:
         }
 
     def _fit_stage_execute(self, ctx: PlanContext) -> dict:
-        """BPS + execution (Algorithm 1 lines 9-13)."""
+        """BPS + execution (Algorithm 1 lines 9-13), as a two-wave DAG.
+
+        Wave 0 (:meth:`_run_producer_wave`) runs the share stage's
+        producers and publishes fused neighbor results; wave 1 runs one
+        task per model, consumers binding their group's published pair.
+        """
         # With the shm data plane, tasks bind tiny segment handles (the
         # runner materialised ctx.spaces into the arena); otherwise they
         # bind the arrays themselves.
         data = ctx.get("shared_spaces") or ctx.spaces
-        tasks = [
-            functools.partial(_fit_one, est, data[i])
-            for i, est in enumerate(self.base_estimators)
-        ]
         backend = self._make_backend()
+        producer_info = self._run_producer_wave(ctx, backend)
+        sharing = ctx.get("sharing")
+        consumer_of = sharing.consumer_of if sharing is not None else {}
+        tasks = []
+        for i, est in enumerate(self.base_estimators):
+            qid = consumer_of.get(i)
+            if qid is not None:
+                dh, ih = ctx.shared_neighbors[qid]
+                tasks.append(functools.partial(fit_one_shared, est, data[i], dh, ih))
+            else:
+                tasks.append(functools.partial(_fit_one, est, data[i]))
         result = backend.execute(tasks, ctx.assignment)
         result.raise_first_error()
         observed = self._observe_execution(ctx, result)
         self.base_estimators_ = list(result.results)
+        # Consumers fitted from the fused result skipped their private
+        # index build; hand every group its single shared index so
+        # standalone re-scoring (and predict-time sharing) work as if
+        # each had built its own.
+        for i, qid in consumer_of.items():
+            self.base_estimators_[i]._nn = sharing.queries[qid].index
+        self.shared_index_ = (
+            [q.index for q in sharing.queries] if sharing is not None else []
+        )
         self.fit_assignment_ = ctx.assignment
         self.fit_result_ = result
         ctx.result = result
         self._log(f"fit wall time: {result.wall_time:.3f}s")
-        info = {"backend": self._effective_backend, "execution": result}
+        merged = result
+        if ctx.get("producer_result") is not None:
+            merged = ExecutionResult.merge([ctx.producer_result, result])
+        info = {"backend": self._effective_backend, "execution": merged}
+        if producer_info is not None:
+            info["sharing"] = producer_info
         if observed:
             info["telemetry_observed"] = observed
         return info
@@ -723,30 +945,76 @@ class SUOD:
 
     def _predict_stage_execute(self, ctx: PlanContext) -> dict:
         shared = ctx.get("shared_spaces")
+        backend = self._make_backend()
+        producer_info = self._run_producer_wave(ctx, backend)
+        sharing = ctx.get("sharing")
+        consumer_of = sharing.consumer_of if sharing is not None else {}
+
+        def _pair(i):
+            qid = consumer_of.get(i)
+            if qid is None:
+                return None
+            return ctx.shared_neighbors[qid]
+
         if ctx.owners is not None:
             if shared is not None:
                 # (model × chunk) through processes: ship (handle, slice)
                 # and cut the row block off the attached view worker-side.
-                tasks = [
-                    functools.partial(
-                        _score_slice, self.approximators_[i], shared[i], sl
-                    )
-                    for i, sl in ctx.owners
-                ]
+                tasks = []
+                for i, sl in ctx.owners:
+                    approx = self.approximators_[i]
+                    pair = _pair(i)
+                    if pair is not None:
+                        tasks.append(
+                            functools.partial(
+                                score_slice_shared,
+                                approx,
+                                approx.detector,
+                                shared[i],
+                                sl,
+                                *pair,
+                            )
+                        )
+                    else:
+                        tasks.append(
+                            functools.partial(_score_slice, approx, shared[i], sl)
+                        )
             else:
-                tasks = [
-                    functools.partial(
-                        _score_one, self.approximators_[i], ctx.spaces[i][sl]
-                    )
-                    for i, sl in ctx.owners
-                ]
+                tasks = []
+                for i, sl in ctx.owners:
+                    approx = self.approximators_[i]
+                    pair = _pair(i)
+                    if pair is not None:
+                        # In-memory pairs are plain arrays: slice the row
+                        # block parent-side, same as the space itself.
+                        dist, idx = pair
+                        tasks.append(
+                            functools.partial(
+                                score_one_shared,
+                                approx,
+                                approx.detector,
+                                ctx.spaces[i][sl],
+                                dist[sl],
+                                idx[sl],
+                            )
+                        )
+                    else:
+                        tasks.append(
+                            functools.partial(_score_one, approx, ctx.spaces[i][sl])
+                        )
         else:
             data = shared if shared is not None else ctx.spaces
-            tasks = [
-                functools.partial(_score_one, approx, data[i])
-                for i, approx in enumerate(self.approximators_)
-            ]
-        backend = self._make_backend()
+            tasks = []
+            for i, approx in enumerate(self.approximators_):
+                pair = _pair(i)
+                if pair is not None:
+                    tasks.append(
+                        functools.partial(
+                            score_one_shared, approx, approx.detector, data[i], *pair
+                        )
+                    )
+                else:
+                    tasks.append(functools.partial(_score_one, approx, data[i]))
         result = backend.execute(tasks, ctx.assignment)
         result.raise_first_error()
         observed = self._observe_execution(ctx, result)
@@ -764,7 +1032,12 @@ class SUOD:
             )
         else:
             ctx.matrix = np.stack(result.results)
-        info = {"backend": self._effective_backend, "execution": result}
+        merged = result
+        if ctx.get("producer_result") is not None:
+            merged = ExecutionResult.merge([ctx.producer_result, result])
+        info = {"backend": self._effective_backend, "execution": merged}
+        if producer_info is not None:
+            info["sharing"] = producer_info
         if observed:
             info["telemetry_observed"] = observed
         return info

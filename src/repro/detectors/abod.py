@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.detectors.base import BaseDetector
 from repro.kernels import pairwise_angle_variance
-from repro.neighbors import NearestNeighbors
+from repro.neighbors import neighbors_for_fit, neighbors_for_scoring
 
 __all__ = ["ABOD"]
 
@@ -44,10 +44,17 @@ class ABOD(BaseDetector):
                 f"n_neighbors={self.n_neighbors} out of [2, {X.shape[0] - 1}]"
             )
 
+    def _neighbor_request(self) -> dict:
+        return {
+            "n_neighbors": self.n_neighbors,
+            "algorithm": "auto",
+            "metric": "euclidean",
+            "p": 2.0,
+        }
+
     def _fit(self, X: np.ndarray) -> np.ndarray:
         self._X = X
-        self._nn = NearestNeighbors(n_neighbors=self.n_neighbors).fit(X)
-        _, idx = self._nn.kneighbors()
+        _, idx = neighbors_for_fit(self, X, n_neighbors=self.n_neighbors)
         return self._scores_from_neighbors(X, idx)
 
     def _scores_from_neighbors(self, Q: np.ndarray, idx: np.ndarray) -> np.ndarray:
@@ -64,5 +71,5 @@ class ABOD(BaseDetector):
         return -pairwise_angle_variance(Q, self._X, idx, eps=_EPS)
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        _, idx = self._nn.kneighbors(X)
+        _, idx = neighbors_for_scoring(self, X, n_neighbors=self.n_neighbors)
         return self._scores_from_neighbors(X, idx)

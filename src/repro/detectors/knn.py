@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import BaseDetector
-from repro.neighbors import NearestNeighbors
+from repro.neighbors import neighbors_for_fit, neighbors_for_scoring
 
 __all__ = ["KNN", "AvgKNN", "MedKNN"]
 
@@ -64,17 +64,26 @@ class KNN(BaseDetector):
             return dist.mean(axis=1)
         return np.median(dist, axis=1)
 
+    def _neighbor_request(self) -> dict:
+        return {
+            "n_neighbors": self.n_neighbors,
+            "algorithm": self.algorithm,
+            "metric": self.metric,
+            "p": 2.0,
+        }
+
     def _fit(self, X: np.ndarray) -> np.ndarray:
-        self._nn = NearestNeighbors(
+        dist, _ = neighbors_for_fit(  # self-excluded
+            self,
+            X,
             n_neighbors=self.n_neighbors,
             algorithm=self.algorithm,
             metric=self.metric,
-        ).fit(X)
-        dist, _ = self._nn.kneighbors()  # self-excluded
+        )
         return self._reduce(dist)
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        dist, _ = self._nn.kneighbors(X)
+        dist, _ = neighbors_for_scoring(self, X, n_neighbors=self.n_neighbors)
         return self._reduce(dist)
 
 

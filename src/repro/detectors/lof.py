@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import BaseDetector
-from repro.neighbors import NearestNeighbors
+from repro.neighbors import neighbors_for_fit, neighbors_for_scoring
 
 __all__ = ["LOF"]
 
@@ -56,14 +56,23 @@ class LOF(BaseDetector):
                 f"n_neighbors={self.n_neighbors} out of [1, {X.shape[0] - 1}]"
             )
 
+    def _neighbor_request(self) -> dict:
+        return {
+            "n_neighbors": self.n_neighbors,
+            "algorithm": self.algorithm,
+            "metric": self.metric,
+            "p": self.p,
+        }
+
     def _fit(self, X: np.ndarray) -> np.ndarray:
-        self._nn = NearestNeighbors(
+        dist, idx = neighbors_for_fit(  # self-excluded
+            self,
+            X,
             n_neighbors=self.n_neighbors,
             algorithm=self.algorithm,
             metric=self.metric,
             p=self.p,
-        ).fit(X)
-        dist, idx = self._nn.kneighbors()  # self-excluded
+        )
         # k-distance of each training point = distance to its kth neighbor.
         self._kdist = dist[:, -1]
         # reach_dist(a <- b) = max(kdist(b), d(a, b)) for neighbor b of a.
@@ -73,7 +82,7 @@ class LOF(BaseDetector):
         return lof
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        dist, idx = self._nn.kneighbors(X)
+        dist, idx = neighbors_for_scoring(self, X, n_neighbors=self.n_neighbors)
         reach = np.maximum(dist, self._kdist[idx])
         lrd_query = 1.0 / (reach.mean(axis=1) + _EPS)
         return self._lrd[idx].mean(axis=1) / lrd_query

@@ -13,7 +13,7 @@ import numpy as np
 from scipy.special import erf
 
 from repro.detectors.base import BaseDetector
-from repro.neighbors import NearestNeighbors
+from repro.neighbors import neighbors_for_fit, neighbors_for_scoring
 
 __all__ = ["LoOP"]
 
@@ -51,9 +51,16 @@ class LoOP(BaseDetector):
         if self.extent <= 0:
             raise ValueError("extent must be > 0")
 
+    def _neighbor_request(self) -> dict:
+        return {
+            "n_neighbors": self.n_neighbors,
+            "algorithm": "auto",
+            "metric": "euclidean",
+            "p": 2.0,
+        }
+
     def _fit(self, X: np.ndarray) -> np.ndarray:
-        self._nn = NearestNeighbors(n_neighbors=self.n_neighbors).fit(X)
-        dist, idx = self._nn.kneighbors()
+        dist, idx = neighbors_for_fit(self, X, n_neighbors=self.n_neighbors)
         # Probabilistic set distance: lambda * sqrt(mean squared distance).
         self._pdist = self.extent * np.sqrt((dist**2).mean(axis=1) + _EPS)
         plof = self._pdist / (self._pdist[idx].mean(axis=1) + _EPS) - 1.0
@@ -64,7 +71,7 @@ class LoOP(BaseDetector):
         return np.maximum(0.0, erf(plof / (self._nplof * np.sqrt(2.0))))
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        dist, idx = self._nn.kneighbors(X)
+        dist, idx = neighbors_for_scoring(self, X, n_neighbors=self.n_neighbors)
         pdist_q = self.extent * np.sqrt((dist**2).mean(axis=1) + _EPS)
         plof = pdist_q / (self._pdist[idx].mean(axis=1) + _EPS) - 1.0
         return self._to_probability(plof)

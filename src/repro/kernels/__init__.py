@@ -25,7 +25,12 @@ backends are held to:
 """
 
 from repro.kernels.angles import pairwise_angle_variance
-from repro.kernels.neighbors import kdtree_query_batched
+from repro.kernels.neighbors import (
+    kdtree_query_batched,
+    kdtree_query_maxk,
+    shared_query_width,
+    slice_neighbor_prefix,
+)
 from repro.kernels.splits import best_split_all_features
 from repro.kernels.trees import (
     FlatForest,
@@ -42,6 +47,9 @@ __all__ = [
     "forest_value_sum",
     "tree_apply",
     "kdtree_query_batched",
+    "kdtree_query_maxk",
+    "shared_query_width",
+    "slice_neighbor_prefix",
     "best_split_all_features",
     "pairwise_angle_variance",
 ]

@@ -40,13 +40,37 @@ exact.
 Leaf distances are computed with the same elementwise expression as the
 reference (``sqrt(((block - x) ** 2).sum(axis))``), so every candidate
 distance is bitwise-identical to the per-query path.
+
+Prefix-slice contract (the basis of the shared-computation plane)
+-----------------------------------------------------------------
+The canonical order makes a fused query *prefix-sliceable*: the output
+for ``k`` is exactly the first ``k`` columns of the output for any
+``K >= k`` over the same data, because both are prefixes of the same
+total ``(distance, index)`` ordering — a pure function of the data,
+independent of ``k``. Self-exclusion composes with slicing: a query at
+``K = max(k_i) + 1`` with ``exclude_self=False`` contains, after
+dropping each row's own index, the first ``max(k_i)`` self-excluded
+neighbors — if self sat inside the prefix it is removed and the
+remaining ``K - 1 >= max(k_i)`` entries are the smallest non-self
+pairs; if it did not, the prefix already was the smallest non-self
+pairs. Either way every sliced distance was computed by the same
+elementwise expression, so the result is bitwise-identical to a direct
+``exclude_self`` query at ``k_i``. :func:`kdtree_query_maxk` issues the
+fused query and :func:`slice_neighbor_prefix` applies the contract per
+consumer. (Brute force has no such contract: its tie order follows
+``argpartition`` and depends on ``k``.)
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["kdtree_query_batched"]
+__all__ = [
+    "kdtree_query_batched",
+    "kdtree_query_maxk",
+    "shared_query_width",
+    "slice_neighbor_prefix",
+]
 
 _LEAF = -1
 
@@ -82,6 +106,80 @@ def kdtree_query_batched(
         out_d[start:stop] = d
         out_i[start:stop] = i
     return out_d, out_i
+
+
+def shared_query_width(ks, n_samples: int, *, cover_self: bool = False) -> int:
+    """Fused query width serving every consumer ``k`` in ``ks``.
+
+    ``max(ks)`` columns answer every consumer directly; ``cover_self``
+    adds one slack column so each row can drop its own index at slice
+    time and still keep ``max(ks)`` neighbors. Clamped to ``n_samples``
+    (a row whose self falls outside a full-width prefix needs no slack:
+    the prefix already holds every other point).
+    """
+    ks = [int(k) for k in ks]
+    if not ks or min(ks) < 1:
+        raise ValueError(f"ks must be non-empty positive ints, got {ks!r}")
+    width = max(ks) + (1 if cover_self else 0)
+    return min(width, int(n_samples))
+
+
+def kdtree_query_maxk(
+    tree,
+    X_query: np.ndarray,
+    ks,
+    *,
+    cover_self: bool = False,
+    block_rows: int = 1024,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """One fused query at the shared width — the producer entry point.
+
+    Runs a single ``exclude_self=False`` query at
+    :func:`shared_query_width` and returns ``(distances, indices, K)``.
+    Every consumer obtains its own answer from the result via
+    :func:`slice_neighbor_prefix` — bitwise-identical to querying at its
+    own ``k`` (prefix-slice contract, module docstring).
+    """
+    width = shared_query_width(ks, tree.n_samples_, cover_self=cover_self)
+    dist, idx = tree.query(X_query, width, exclude_self=False, block_rows=block_rows)
+    return dist, idx, width
+
+
+def slice_neighbor_prefix(
+    dist: np.ndarray,
+    idx: np.ndarray,
+    k: int,
+    *,
+    self_rows: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A consumer's ``k``-neighbor answer from a fused max-k query.
+
+    ``dist``/``idx`` are the ``(q, K)`` output of a canonical-order
+    query with ``exclude_self=False``. Without ``self_rows`` the first
+    ``k`` columns are returned (as views — no copy). With ``self_rows``
+    (each query row's own index in the indexed data) the row's self
+    entry is dropped before taking the first ``k`` — the fit-time form
+    of the prefix-slice contract.
+    """
+    q, width = dist.shape
+    if self_rows is None:
+        if k > width:
+            raise ValueError(f"k={k} exceeds fused query width {width}")
+        return dist[:, :k], idx[:, :k]
+    is_self = idx == np.asarray(self_rows).reshape(-1, 1)
+    # repro: allow[contiguous-reduction] -- boolean count to an exact integer; summation order cannot change the value
+    avail = width - is_self.sum(axis=1).max()
+    if k > avail:
+        raise ValueError(
+            f"k={k} exceeds the {avail} non-self columns of a width-{width} query"
+        )
+    # Stable argsort on the self mask pushes each row's self entry past
+    # the end while preserving the canonical order of everything else.
+    order = np.argsort(is_self, axis=1, kind="stable")[:, :k]
+    return (
+        np.take_along_axis(dist, order, axis=1),
+        np.take_along_axis(idx, order, axis=1),
+    )
 
 
 def _query_block(tree, Xq: np.ndarray, k: int, self_start: int | None):

@@ -8,7 +8,27 @@ KD-tree batches route through :func:`repro.kernels.kdtree_query_batched`.
 """
 
 from repro.neighbors.brute import brute_force_kneighbors
-from repro.neighbors.kdtree import KDTree
+from repro.neighbors.kdtree import KDTree, kdtree_build_count
 from repro.neighbors.api import NearestNeighbors, choose_engine
+from repro.neighbors.shared import (
+    build_shared_index,
+    discard_shared_neighbors,
+    fused_neighbor_query,
+    neighbors_for_fit,
+    neighbors_for_scoring,
+    push_shared_neighbors,
+)
 
-__all__ = ["NearestNeighbors", "KDTree", "brute_force_kneighbors", "choose_engine"]
+__all__ = [
+    "NearestNeighbors",
+    "KDTree",
+    "brute_force_kneighbors",
+    "choose_engine",
+    "kdtree_build_count",
+    "build_shared_index",
+    "discard_shared_neighbors",
+    "fused_neighbor_query",
+    "neighbors_for_fit",
+    "neighbors_for_scoring",
+    "push_shared_neighbors",
+]

@@ -27,14 +27,37 @@ back to brute force when ``d`` is large and pruning cannot win.
 from __future__ import annotations
 
 import heapq
+import threading
 
 import numpy as np
 
 from repro.kernels.neighbors import kdtree_query_batched
 
-__all__ = ["KDTree"]
+__all__ = ["KDTree", "kdtree_build_count"]
 
 _LEAF = -1
+
+# Monotonic count of KD-tree builds in this process. The sharing plane's
+# whole point is building each tree once per (space, metric) key; the
+# benchmark gate and the serving-reuse tests read deltas of this counter
+# to prove it. Lock-guarded so thread-pool builds count exactly.
+_build_lock = threading.Lock()
+_build_count = 0
+
+
+def _record_build() -> None:
+    global _build_count
+    with _build_lock:
+        _build_count += 1
+
+
+def kdtree_build_count() -> int:
+    """Number of KD-trees built in this process so far.
+
+    Process-local: builds inside process-pool workers are not visible
+    to the parent. Read deltas around the region under test.
+    """
+    return _build_count
 
 # Below this many query rows the per-query reference path wins: the
 # batched kernel's fixed setup (frontier arrays, leaf grouping) is not
@@ -108,6 +131,12 @@ class KDTree:
             build(0, n)
         finally:
             sys.setrecursionlimit(old_limit)
+            # ``build`` recursing through its own closure cell is a
+            # reference cycle (function -> __closure__ -> cell ->
+            # function) that keeps X pinned until a cyclic GC pass --
+            # for a shared-memory view, that blocks segment close in
+            # pool workers. Clearing the cell makes teardown immediate.
+            build = None  # noqa: F841
 
         self._split_dim = np.array(split_dim, dtype=np.int64)
         self._split_val = np.array(split_val, dtype=np.float64)
@@ -117,6 +146,7 @@ class KDTree:
         self._end = np.array(end, dtype=np.int64)
         self._data = X[self._perm]
         self.n_samples_, self.n_features_ = X.shape
+        _record_build()
 
     # ------------------------------------------------------------------
     def cast(self, dtype) -> "KDTree":

@@ -240,6 +240,7 @@ class SharedMemoryArena:
     def __init__(self):
         self._segments: list[shared_memory.SharedMemory] = []
         self._by_id: dict[int, tuple[object, SharedArrayHandle]] = {}
+        self._category_bytes: dict[str, int] = {}
         self._disposed = False
 
     def __len__(self) -> int:
@@ -253,7 +254,19 @@ class SharedMemoryArena:
     def disposed(self) -> bool:
         return self._disposed
 
-    def share(self, array: np.ndarray) -> SharedArrayHandle:
+    @property
+    def bytes_by_category(self) -> dict[str, int]:
+        """Segment bytes per ``share(category=...)`` label.
+
+        The arena started as an *input* plane (plan data materialised
+        for workers); the sharing plane also publishes fused query
+        *results* through it. The ledger keeps the two distinguishable
+        for telemetry (only fresh segments count — dedup hits and
+        file-backed views add no bytes).
+        """
+        return dict(self._category_bytes)
+
+    def share(self, array: np.ndarray, *, category: str = "input") -> SharedArrayHandle:
         """Copy ``array`` into a new shared segment; return its handle."""
         if self._disposed:
             raise RuntimeError("arena was disposed; create a new one")
@@ -288,19 +301,25 @@ class SharedMemoryArena:
         np.copyto(view, array)
         del view  # exported buffers would make close() raise at dispose
         self._segments.append(seg)
+        self._category_bytes[category] = (
+            self._category_bytes.get(category, 0) + array.nbytes
+        )
         handle = SharedArrayHandle(name, array.shape, array.dtype.str)
         # Keep a reference to the original so id() stays valid for dedup.
         self._by_id[id(array)] = (array, handle)
         return handle
 
-    def share_all(self, arrays: Sequence[np.ndarray]) -> list[SharedArrayHandle]:
-        return [self.share(a) for a in arrays]
+    def share_all(
+        self, arrays: Sequence[np.ndarray], *, category: str = "input"
+    ) -> list[SharedArrayHandle]:
+        return [self.share(a, category=category) for a in arrays]
 
     def dispose(self) -> None:
         """Close and unlink every owned segment (idempotent)."""
         self._disposed = True
         segments, self._segments = self._segments, []
         self._by_id = {}
+        self._category_bytes = {}
         for seg in segments:
             try:
                 seg.close()

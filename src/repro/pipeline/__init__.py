@@ -6,8 +6,12 @@ that layer for SUOD:
 
 - :class:`Stage` — a named, documented step over a shared context;
 - :class:`ExecutionPlan` — an ordered stage program (project → forecast
-  → schedule → execute → approximate → combine) with build-time
+  → share → schedule → execute → approximate → combine) with build-time
   metadata, renderable as table or JSON before anything runs;
+- :mod:`repro.pipeline.sharing` — the plan-level CSE pass: the
+  ``share`` stage folds redundant neighbor structures into shared
+  producer tasks whose fused query results every consumer prefix-slices
+  (bitwise-identical, see :class:`SharingPlan`);
 - :class:`PlanRunner` — the single loop every backend runs through,
   with resume/partial-execution semantics;
 - :class:`StageReport` — per-stage wall time plus worker-load /
@@ -23,12 +27,22 @@ on the plan objects instead of re-implementing orchestration.
 
 from repro.pipeline.plan import ExecutionPlan, PlanContext
 from repro.pipeline.runner import PlanRunner
+from repro.pipeline.sharing import (
+    SharedQuery,
+    SharingPlan,
+    derive_fit_sharing,
+    derive_predict_sharing,
+)
 from repro.pipeline.stage import Stage, StageReport
 
 __all__ = [
     "ExecutionPlan",
     "PlanContext",
     "PlanRunner",
+    "SharedQuery",
+    "SharingPlan",
     "Stage",
     "StageReport",
+    "derive_fit_sharing",
+    "derive_predict_sharing",
 ]

@@ -121,7 +121,7 @@ class ExecutionPlan:
         self.reports = []
         return self
 
-    _DATA_KEYS = ("X", "spaces", "matrix", "scores")
+    _DATA_KEYS = ("X", "spaces", "matrix", "scores", "shared_neighbors")
 
     def release_data(self) -> "ExecutionPlan":
         """Drop the large data arrays from the context.
@@ -153,6 +153,9 @@ class ExecutionPlan:
         arena = self.context.get("arena")
         if arena is not None:
             arena.dispose()
+            # Producer-wave results published into the arena (the share
+            # stage's fused neighbor pairs) die with it.
+            self.context.__dict__.pop("shared_neighbors", None)
         self.context.__dict__.pop("arena", None)
         for key in self.shm_keys:
             self.context.__dict__.pop(f"shared_{key}", None)
@@ -170,7 +173,13 @@ class ExecutionPlan:
 
     # -- rendering -----------------------------------------------------
     def describe(self) -> list[dict]:
-        """One row per stage: status, wall time, key facts."""
+        """One row per stage: status, wall time, key facts.
+
+        Pending stages describe what they will do; done stages show the
+        scalar facts of their info dict instead (the share stage's
+        dedup summary, the schedule stage's policy, ...), so the CLI
+        table reports what actually happened.
+        """
         rows = []
         for stage in self.stages:
             report = self.report_for(stage.name)
@@ -180,6 +189,14 @@ class ExecutionPlan:
                 "wall_s": report.wall_time if report else float("nan"),
                 "detail": stage.description,
             }
+            if report is not None and report.info:
+                facts = ", ".join(
+                    f"{key}={value}"
+                    for key, value in report.info.items()
+                    if isinstance(value, (bool, int, float, str))
+                )
+                if facts:
+                    row["detail"] = facts
             if report is not None and report.execution is not None:
                 row["steals"] = report.total_steals
                 row["idle_s"] = report.total_idle

@@ -38,6 +38,7 @@ from repro.scheduling.cost import (
     CostPredictor,
     TelemetryRefinedCostModel,
     dataset_meta_features,
+    forecast_shared_query,
     model_embedding,
     train_cost_predictor,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "TelemetryRefinedCostModel",
     "dataset_meta_features",
     "model_embedding",
+    "forecast_shared_query",
     "train_cost_predictor",
     "Scheduler",
     "GenericScheduler",

@@ -43,6 +43,7 @@ __all__ = [
     "AnalyticCostModel",
     "CostPredictor",
     "TelemetryRefinedCostModel",
+    "forecast_shared_query",
     "train_cost_predictor",
 ]
 
@@ -180,6 +181,31 @@ class AnalyticCostModel:
         if fam == "COPOD":
             return n * np.log2(max(n, 2.0)) * d
         raise KeyError(fam)
+
+
+def forecast_shared_query(
+    n_index: int, n_query: int, n_features: int, width: int
+) -> float:
+    """Analytic cost of one shared-producer task (same units as
+    :class:`AnalyticCostModel`).
+
+    A producer builds one KD-tree over the group's space and answers one
+    fused batched query at the shared width: ``n log n · d`` for the
+    build plus ``q log n · d`` traversal and ``q · K`` candidate
+    maintenance for the query. The sharing plane schedules producers as
+    first-class tasks with these forecasts, so BPS/adaptive policies
+    arbitrate build-vs-score placement instead of treating shared work
+    as free; the adaptive loop then refines them from measured
+    durations under the producers' own task keys.
+    """
+    n, q, d, k = (
+        float(n_index),
+        float(n_query),
+        float(n_features),
+        float(width),
+    )
+    log_n = np.log2(max(n, 2.0))
+    return n * log_n * d + q * log_n * d + q * k
 
 
 class CostPredictor:

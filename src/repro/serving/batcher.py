@@ -25,6 +25,14 @@ fail fast with :class:`DeadlineExpired` instead of wasting executor
 time. Execution runs on a single worker thread: scoring mutates model
 state (plan caches, telemetry), so batches serialize, while the event
 loop stays free to accept and queue the next wave.
+
+The batcher also audits the shared-computation plane's serving
+contract: a fitted ensemble's neighbor structures (the KD-trees the
+``share`` stage built once per ``(space, metric)`` key and injected
+into every consumer) must be **reused** across micro-batches, never
+rebuilt per batch. Each executed batch folds the process KD-tree build
+delta into ``stats.structure_builds``; a healthy shared ensemble holds
+it at 0 however many batches flow through.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.neighbors import kdtree_build_count
 from repro.scheduling import TelemetryRefinedCostModel
 
 __all__ = [
@@ -152,6 +161,11 @@ class BatcherStats:
     exec_s_total: float = 0.0
     batch_rows_max: int = 0
     target_rows_last: int = 0
+    # KD-trees built while scoring batches. A fitted shared ensemble
+    # reuses its injected structures, so this stays 0; any growth means
+    # a detector is rebuilding per batch (the redundancy the share
+    # stage exists to remove).
+    structure_builds: int = 0
 
     def to_dict(self) -> dict:
         mean = self.served_rows / self.batches if self.batches else 0.0
@@ -165,6 +179,7 @@ class BatcherStats:
             "batch_rows_mean": mean,
             "batch_rows_max": self.batch_rows_max,
             "target_rows_last": self.target_rows_last,
+            "structure_builds": self.structure_builds,
         }
 
 
@@ -342,6 +357,7 @@ class MicroBatcher:
         arrays = [req.rows for req in batch]
         stacked = arrays[0] if len(arrays) == 1 else np.vstack(arrays)
         t0 = self._clock()
+        builds_before = kdtree_build_count()
         try:
             scores = await loop.run_in_executor(
                 self._executor, self.score_fn, stacked
@@ -352,6 +368,10 @@ class MicroBatcher:
                 if not req.future.done():
                     req.future.set_exception(exc)
             return
+        finally:
+            # The single executor worker serializes batches, so the
+            # delta is attributable to this batch's scoring.
+            self.stats.structure_builds += kdtree_build_count() - builds_before
         exec_s = self._clock() - t0
         rows = int(stacked.shape[0])
         self.policy.observe(rows, exec_s)

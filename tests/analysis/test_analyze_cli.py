@@ -139,6 +139,7 @@ def test_list_rules_catalogue(capsys):
         "registry-overwrite",
         "unseeded-random",
         "frozen-reference",
+        "redundant-structure",
     ):
         assert rule in out
 

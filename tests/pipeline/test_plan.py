@@ -123,6 +123,7 @@ class TestSuodPlans:
         assert plan.stage_names == [
             "project",
             "forecast",
+            "share",
             "schedule",
             "execute",
             "approximate",
@@ -136,7 +137,7 @@ class TestSuodPlans:
         clf = SUOD(make_pool(), n_jobs=3, backend="threads", random_state=0)
         plan = clf.build_fit_plan(Xtr)
         PlanRunner().run(plan, until="schedule")
-        assert plan.completed == ["project", "forecast", "schedule"]
+        assert plan.completed == ["project", "forecast", "share", "schedule"]
         assert not hasattr(clf, "base_estimators_")  # nothing trained
         a = plan.context.assignment
         assert a.shape == (clf.n_models,)
@@ -188,7 +189,7 @@ class TestSuodPlans:
         payload = json.loads(json.dumps(plan.to_dict()))
         assert payload["kind"] == "fit"
         assert [s["name"] for s in payload["stages"]] == plan.stage_names
-        assert payload["stages"][3]["status"] == "pending"
+        assert payload["stages"][4]["status"] == "pending"
         assert len(payload["assignment"]) == clf.n_models
         assert len(payload["forecast_costs"]) == clf.n_models
 

@@ -168,3 +168,79 @@ class TestMicroBatcher:
         policy = run_async(scenario())
         assert policy.seconds_per_row() is not None
         assert policy.seconds_per_row() > 0.0
+
+
+class TestSharedStructureReuse:
+    """Fitted shared KD-trees serve every micro-batch without rebuilds."""
+
+    @pytest.fixture(scope="class")
+    def shared_model(self):
+        from repro.core.suod import SUOD
+        from repro.data import make_outlier_dataset
+        from repro.detectors import KNN, LOF, AvgKNN
+
+        # n >= 256 so the neighbor engine resolves to kd_tree and the
+        # share stage actually builds (and injects) a shared tree.
+        X, _ = make_outlier_dataset(
+            n_samples=400, n_features=6, contamination=0.1, random_state=21
+        )
+        model = SUOD(
+            [KNN(n_neighbors=5), AvgKNN(n_neighbors=9), LOF(n_neighbors=7)],
+            rp_flag_global=False,
+            approx_flag_global=False,
+            random_state=0,
+        ).fit(X)
+        assert model.sharing_fit_info_["structures_built"] == 1
+        return model
+
+    def test_micro_batches_reuse_fitted_trees(self, run_async, shared_model):
+        from repro.data import make_outlier_dataset
+        from repro.neighbors import kdtree_build_count
+
+        X, _ = make_outlier_dataset(
+            n_samples=30, n_features=6, contamination=0.1, random_state=22
+        )
+
+        async def scenario():
+            batcher = MicroBatcher(
+                shared_model.decision_function, max_wait_s=0.0
+            )
+            await batcher.start()
+            results = []
+            for i in range(3):  # one micro-batch per submit (max_wait 0)
+                results.append(await batcher.submit(X[i * 10 : (i + 1) * 10]))
+            await batcher.close()
+            return results, batcher.stats
+
+        before = kdtree_build_count()
+        results, stats = run_async(scenario())
+        assert kdtree_build_count() == before  # no rebuilds while serving
+        assert stats.structure_builds == 0
+        assert stats.to_dict()["structure_builds"] == 0
+        assert stats.batches == 3
+        direct = shared_model.decision_function(X)
+        served = np.concatenate([r.scores for r in results])
+        assert np.array_equal(served, direct)
+
+    def test_rebuilding_score_fn_is_counted(self, run_async):
+        from repro.neighbors.kdtree import KDTree
+
+        train = np.random.default_rng(0).normal(size=(64, 3))
+
+        def rebuilds(X):
+            tree = KDTree(train)  # the anti-pattern the counter catches
+            dist, _ = tree.query(np.asarray(X), 3)
+            return dist[:, -1]
+
+        async def scenario():
+            batcher = MicroBatcher(rebuilds, max_wait_s=0.0)
+            await batcher.start()
+            for _ in range(2):
+                await batcher.submit(
+                    np.random.default_rng(1).normal(size=(4, 3))
+                )
+            await batcher.close()
+            return batcher.stats
+
+        stats = run_async(scenario())
+        assert stats.structure_builds == 2  # one rebuild per batch

@@ -33,11 +33,12 @@ class TestPlanCommand:
         assert main(["plan", *self._fast]) == 0
         out = capsys.readouterr().out
         assert "fit plan" in out
-        # All six stages named, with the planning prefix done and the
+        # All seven stages named, with the planning prefix done and the
         # training stages left pending (nothing was fitted).
         for stage in (
             "project",
             "forecast",
+            "share",
             "schedule",
             "execute",
             "approximate",
@@ -45,6 +46,9 @@ class TestPlanCommand:
         ):
             assert stage in out
         assert "pending" in out and "done" in out
+        # Done stages show their info dict in the detail column — the
+        # share stage's dedup summary in particular.
+        assert "n_tasks_before=" in out and "bytes_published=" in out
         assert "forecast_cost" in out and "worker" in out
         assert "Planned per-worker load" in out
 
@@ -59,6 +63,7 @@ class TestPlanCommand:
         assert [s["name"] for s in plan["stages"]] == [
             "project",
             "forecast",
+            "share",
             "schedule",
             "execute",
             "combine",
@@ -189,6 +194,83 @@ class TestSchedulersCommand:
     def test_schedulers_listed(self, capsys):
         assert main(["list"]) == 0
         assert "Scheduler registry" in capsys.readouterr().out
+
+
+class TestSharingCommand:
+    # n_train must stay >= 256 so the auto engine resolves to kd_tree
+    # and the share stage actually folds builds (the thing under test).
+    _fast = [
+        "--n-train",
+        "400",
+        "--n-test",
+        "150",
+        "--repeats",
+        "1",
+        "--n-jobs",
+        "2",
+    ]
+
+    def test_table_output_and_exit_code(self, capsys):
+        assert main(["sharing", *self._fast]) == 0
+        out = capsys.readouterr().out
+        assert "Shared-computation plane" in out
+        assert "shared" in out and "redundant" in out
+        assert "parity (shared vs redundant bitwise, all backends): True" in out
+        assert "1 KD-tree build(s) for 4 detectors" in out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(["sharing", "--json", "-", *self._fast]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"meta", "rows"}
+        meta = payload["meta"]
+        assert meta["parity_ok"] is True
+        assert meta["builds_ok"] is True
+        assert meta["gates_ok"] is True
+        assert meta["kdtree_builds_shared"] == meta["distinct_keys"] == 1
+        assert meta["kdtree_builds_redundant"] == meta["n_detectors"]
+        assert meta["sharing"]["queries_fused"] == meta["n_detectors"]
+        assert {(r["backend"], r["mode"]) for r in payload["rows"]} == {
+            ("sequential", "shared"),
+            ("sequential", "redundant"),
+            ("threads", "shared"),
+            ("threads", "redundant"),
+        }
+
+    def test_gate_failure_exits_nonzero(self, monkeypatch):
+        def broken(cfg, **kwargs):
+            rows = [
+                {
+                    "backend": "sequential",
+                    "n_jobs": 1,
+                    "mode": "shared",
+                    "fit_s": 0.1,
+                    "predict_s": 0.1,
+                    "total_s": 0.2,
+                }
+            ]
+            meta = {
+                "config": "broken",
+                "sharing": {},
+                "fit_speedup": 2.0,
+                "total_speedup": 2.0,
+                "n_detectors": 4,
+                "distinct_keys": 1,
+                "kdtree_builds_shared": 1,
+                "kdtree_builds_redundant": 4,
+                "parity_ok": False,
+                "builds_ok": True,
+                "gates_ok": False,
+            }
+            return rows, meta
+
+        monkeypatch.setattr("repro.bench.runners.run_sharing_benchmark", broken)
+        assert main(["sharing"]) == 1
+
+    def test_sharing_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "Shared-computation plane benchmark" in capsys.readouterr().out
 
 
 class TestKernelsCommand:
